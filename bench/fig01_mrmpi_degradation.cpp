@@ -1,0 +1,41 @@
+// Figure 1: single-node execution time of WordCount with MR-MPI on
+// Comet. The paper shows ~3 orders of magnitude degradation once the
+// dataset no longer fits MR-MPI's pages and the framework spills to the
+// shared parallel file system (datasets > 4 GB on a 128 GB node).
+//
+// Usage: ./fig01_mrmpi_degradation [full=1] [key=value ...]
+#include "harness.hpp"
+#include "workloads.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_cli(argc, argv);
+  auto machine = simtime::MachineProfile::comet_sim();
+  machine.apply_overrides(cfg);
+  const int ranks = machine.ranks_per_node;  // one node
+  pfs::FileSystem fs(machine, ranks);
+
+  std::vector<std::uint64_t> sizes = {1 << 20, 2 << 20, 4 << 20,
+                                      8 << 20, 16 << 20};
+  if (!bench::quick_mode(cfg)) {
+    sizes.push_back(32 << 20);
+    sizes.push_back(64 << 20);
+  }
+
+  // The paper's MR-MPI run uses large pages so small datasets stay in
+  // memory; 512K scaled = the 512 MB maximum page on Comet.
+  const auto mr = bench::FrameworkConfig::mrmpi("MR-MPI (512M)", 512 << 10);
+
+  bench::Table table(
+      "Figure 1",
+      "Single-node execution time of WordCount with MR-MPI on comet_sim.\n"
+      "Expected shape: flat while in memory, then orders-of-magnitude\n"
+      "degradation once the dataset spills to the parallel file system.",
+      {"dataset", "time", "status", "peak_mem"});
+  for (const std::uint64_t size : sizes) {
+    const auto outcome = bench::run_point(bench::App::kWcUniform, size, mr,
+                                          ranks, machine, fs);
+    table.row({bench::paper_size(size), bench::Table::time_cell(outcome),
+               outcome.status_name(), bench::Table::mem_cell(outcome)});
+  }
+  return 0;
+}

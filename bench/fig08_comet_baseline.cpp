@@ -1,0 +1,40 @@
+// Figure 8: peak memory usage and execution time on one Comet node —
+// baseline Mimir vs MR-MPI with 64 MB and 512 MB pages (scaled: 64 KB /
+// 512 KB pages, 128 MB node memory).
+//
+// Expected shapes (paper §IV-B):
+//   * Mimir uses >= 25 % less memory than MR-MPI (64M) while both fit;
+//   * MR-MPI (64M) leaves memory at ~512 MB datasets, MR-MPI (512M) at
+//     ~4 GB; Mimir runs up to 16 GB in memory (4x the best MR-MPI);
+//   * in-memory execution times are comparable.
+//
+// Usage: ./fig08_comet_baseline [full=1] [key=value ...]
+#include "fig_baseline.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_cli(argc, argv);
+  auto machine = simtime::MachineProfile::comet_sim();
+  machine.apply_overrides(cfg);
+  const bool quick = bench::quick_mode(cfg);
+
+  const std::vector<bench::FrameworkConfig> configs = {
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mrmpi("MR-MPI(64M)", 64 << 10),
+      bench::FrameworkConfig::mrmpi("MR-MPI(512M)", 512 << 10),
+  };
+
+  // Paper x-axes scaled 1/1024: WC 256M..16G -> 256K..16M,
+  // OC 2^24..2^30 -> 2^14..2^20 points, BFS 2^19..2^26 -> 2^9..2^16.
+  std::vector<bench::Sweep> sweeps = {
+      {bench::App::kWcUniform, bench::ladder(256 << 10, quick ? 5 : 7)},
+      {bench::App::kWcWikipedia, bench::ladder(256 << 10, quick ? 5 : 7)},
+      {bench::App::kOc, bench::ladder(1 << 14, quick ? 5 : 7)},
+      {bench::App::kBfs, bench::scales(9, quick ? 5 : 8)},
+  };
+
+  bench::run_figure(
+      "Figure 8",
+      "Peak memory usage and execution time on one comet_sim node.",
+      machine, sweeps, configs);
+  return 0;
+}

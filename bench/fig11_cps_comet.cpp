@@ -1,0 +1,41 @@
+// Figure 11: effect of KV compression on one Comet node. Series: Mimir,
+// Mimir (cps), MR-MPI (512M pages), MR-MPI (512M, cps).
+//
+// Expected shapes (paper §IV-C):
+//   * Mimir (cps) has the lowest peak memory for WC and OC and extends
+//     the in-memory range beyond baseline Mimir;
+//   * BFS peak memory is unchanged by cps (the peak is in the graph
+//     partitioning phase);
+//   * MR-MPI's peak memory is unchanged by compression — fixed pages —
+//     so its in-memory range does not grow.
+//
+// Usage: ./fig11_cps_comet [full=1] [key=value ...]
+#include "fig_baseline.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_cli(argc, argv);
+  auto machine = simtime::MachineProfile::comet_sim();
+  machine.apply_overrides(cfg);
+  const bool quick = bench::quick_mode(cfg);
+
+  const std::vector<bench::FrameworkConfig> configs = {
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("Mimir(cps)", false, false, true),
+      bench::FrameworkConfig::mrmpi("MR-MPI", 512 << 10),
+      bench::FrameworkConfig::mrmpi("MR-MPI(cps)", 512 << 10, true),
+  };
+
+  // Paper: WC 512M..64G -> 512K..64M, OC 2^25..2^32 -> 2^15..2^22,
+  // BFS 2^20..2^26 -> 2^10..2^16.
+  std::vector<bench::Sweep> sweeps = {
+      {bench::App::kWcUniform, bench::ladder(512 << 10, quick ? 4 : 8)},
+      {bench::App::kWcWikipedia, bench::ladder(512 << 10, quick ? 4 : 8)},
+      {bench::App::kOc, bench::ladder(1 << 15, quick ? 4 : 7)},
+      {bench::App::kBfs, bench::scales(10, quick ? 4 : 7)},
+  };
+
+  bench::run_figure("Figure 11",
+                    "Performance of KV compression on one comet_sim node.",
+                    machine, sweeps, configs);
+  return 0;
+}

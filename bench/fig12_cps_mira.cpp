@@ -1,0 +1,47 @@
+// Figure 12: effect of KV compression on one Mira node. Same series as
+// Figure 11 with Mira's page limits (WC: 128M pages; OC/BFS: 64M pages,
+// the paper's maxima that still fit in 16 GB).
+//
+// Expected shape: Mimir (cps) processes up to 16x larger datasets than
+// MR-MPI (paper §IV-C).
+//
+// Usage: ./fig12_cps_mira [full=1] [key=value ...]
+#include "fig_baseline.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_cli(argc, argv);
+  auto machine = simtime::MachineProfile::mira_sim();
+  machine.apply_overrides(cfg);
+  const bool quick = bench::quick_mode(cfg);
+
+  const auto wc_configs = std::vector<bench::FrameworkConfig>{
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("Mimir(cps)", false, false, true),
+      bench::FrameworkConfig::mrmpi("MR-MPI", 128 << 10),
+      bench::FrameworkConfig::mrmpi("MR-MPI(cps)", 128 << 10, true),
+  };
+  const auto small_page_configs = std::vector<bench::FrameworkConfig>{
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("Mimir(cps)", false, false, true),
+      bench::FrameworkConfig::mrmpi("MR-MPI", 64 << 10),
+      bench::FrameworkConfig::mrmpi("MR-MPI(cps)", 64 << 10, true),
+  };
+
+  // Paper: WC 256M..8G -> 256K..8M, OC 2^24..2^29 -> 2^14..2^19,
+  // BFS 2^18..2^23 -> 2^8..2^13.
+  bench::run_figure(
+      "Figure 12",
+      "Performance of KV compression on one mira_sim node (WordCount).",
+      machine,
+      {{bench::App::kWcUniform, bench::ladder(256 << 10, quick ? 4 : 6)},
+       {bench::App::kWcWikipedia, bench::ladder(256 << 10, quick ? 4 : 6)}},
+      wc_configs);
+  bench::run_figure(
+      "Figure 12",
+      "Performance of KV compression on one mira_sim node (OC, BFS).",
+      machine,
+      {{bench::App::kOc, bench::ladder(1 << 14, quick ? 4 : 6)},
+       {bench::App::kBfs, bench::scales(8, quick ? 4 : 6)}},
+      small_page_configs);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 13: impact of stacking Mimir's optional optimizations on one
+// Mira node: baseline -> +KV-hint -> +partial-reduction -> +compression.
+//
+// Expected shapes (paper §IV-D):
+//   * each added optimization lowers peak memory for WC and OC, growing
+//     the in-memory dataset range up to 4x over baseline;
+//   * BFS supports hint (memory drop) but not pr; cps does not change
+//     its peak (partitioning-phase dominated).
+//
+// Usage: ./fig13_opts_mira [full=1] [key=value ...]
+#include "fig_baseline.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_cli(argc, argv);
+  auto machine = simtime::MachineProfile::mira_sim();
+  machine.apply_overrides(cfg);
+  const bool quick = bench::quick_mode(cfg);
+
+  const std::vector<bench::FrameworkConfig> wc_oc_configs = {
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("Mimir(hint)", true),
+      bench::FrameworkConfig::mimir("Mimir(hint;pr)", true, true),
+      bench::FrameworkConfig::mimir("Mimir(hint;pr;cps)", true, true, true),
+  };
+  // The BFS algorithm does not support partial reduction (paper §IV-D).
+  const std::vector<bench::FrameworkConfig> bfs_configs = {
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("Mimir(hint)", true),
+      bench::FrameworkConfig::mimir("Mimir(hint;cps)", true, false, true),
+  };
+
+  bench::run_figure(
+      "Figure 13",
+      "Mimir optional optimizations, one mira_sim node (WC, OC).",
+      machine,
+      {{bench::App::kWcUniform, bench::ladder(256 << 10, quick ? 4 : 6)},
+       {bench::App::kWcWikipedia, bench::ladder(256 << 10, quick ? 4 : 6)},
+       {bench::App::kOc, bench::ladder(1 << 14, quick ? 4 : 6)}},
+      wc_oc_configs);
+  bench::run_figure(
+      "Figure 13",
+      "Mimir optional optimizations, one mira_sim node (BFS; no pr).",
+      machine, {{bench::App::kBfs, bench::scales(8, quick ? 4 : 6)}},
+      bfs_configs);
+  return 0;
+}

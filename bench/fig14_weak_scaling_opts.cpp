@@ -1,0 +1,87 @@
+// Figure 14: weak scalability of Mimir's optimization stack on Mira
+// (paper: up to 1,024 nodes / 16,384 cores).
+//
+// Expected shapes (paper §IV-D):
+//   * the baseline runs out of memory beyond ~2 nodes on skewed data
+//     (load imbalance concentrates intermediate KVs on a few ranks);
+//   * +hint widens the range (WC Uniform and BFS reach the far end);
+//   * +pr widens WC (Wikipedia) and OC a little;
+//   * only +cps takes WC (Wikipedia) and OC to large node counts.
+//
+// Thread-count note: the paper's 16 ranks/node are reduced to 1 rank
+// per simulated node, with per-node dataset and memory shrunk by the
+// same factor, preserving per-rank ratios; default sweeps stop at 32
+// nodes (256 with full=1, nodes_max=N to override).
+//
+// Usage: ./fig14_weak_scaling_opts [full=1] [nodes_max=N] [key=value ...]
+#include "harness.hpp"
+#include "workloads.hpp"
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_cli(argc, argv);
+  auto machine = simtime::MachineProfile::mira_sim();
+  const int paper_rpn = machine.ranks_per_node;
+  constexpr int kRpn = 1;
+  const auto factor = static_cast<std::uint64_t>(paper_rpn / kRpn);
+  machine.ranks_per_node = kRpn;
+  machine.node_memory /= factor;
+  machine.apply_overrides(cfg);
+
+  const int max_nodes = static_cast<int>(
+      cfg.get_int("nodes_max", bench::quick_mode(cfg) ? 32 : 256));
+  std::vector<int> node_counts;
+  for (int n = 2; n <= max_nodes; n *= 2) node_counts.push_back(n);
+
+  const std::vector<bench::FrameworkConfig> wc_oc_configs = {
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("hint", true),
+      bench::FrameworkConfig::mimir("hint;pr", true, true),
+      bench::FrameworkConfig::mimir("hint;pr;cps", true, true, true),
+  };
+  const std::vector<bench::FrameworkConfig> bfs_configs = {
+      bench::FrameworkConfig::mimir("Mimir"),
+      bench::FrameworkConfig::mimir("hint", true),
+      bench::FrameworkConfig::mimir("hint;cps", true, false, true),
+  };
+
+  struct Workload {
+    bench::App app;
+    std::uint64_t per_node;  ///< bytes (WC), points (OC), verts (BFS)
+    const std::vector<bench::FrameworkConfig>* configs;
+  };
+  // Paper/node: WC 2 GB, OC 2^27 points, BFS 2^22 vertices; scaled by
+  // 1/1024 and then by the ranks-per-node factor.
+  const Workload workloads[] = {
+      {bench::App::kWcUniform, (2 << 20) / factor, &wc_oc_configs},
+      {bench::App::kWcWikipedia, (2 << 20) / factor, &wc_oc_configs},
+      {bench::App::kOc, (1 << 17) / factor, &wc_oc_configs},
+      {bench::App::kBfs, (1 << 12) / factor, &bfs_configs},
+  };
+
+  for (const auto& w : workloads) {
+    std::vector<std::string> columns{"nodes"};
+    for (const auto& fc : *w.configs) columns.push_back(fc.label + " time");
+    bench::Table table(
+        std::string("Figure 14 — ") + bench::app_name(w.app),
+        "Weak scaling of Mimir optimizations on mira_sim.",
+        columns);
+    for (const int nodes : node_counts) {
+      pfs::FileSystem fs(machine, nodes * kRpn);
+      std::vector<std::string> cells{std::to_string(nodes)};
+      for (const auto& fc : *w.configs) {
+        std::uint64_t x = w.per_node * static_cast<std::uint64_t>(nodes);
+        if (w.app == bench::App::kBfs) {
+          // x is log2(total vertices) for BFS.
+          std::uint64_t total = w.per_node * static_cast<std::uint64_t>(nodes);
+          x = 0;
+          while ((1ull << x) < total) ++x;
+        }
+        const auto outcome = bench::run_point(w.app, x, fc, nodes * kRpn,
+                                              machine, fs);
+        cells.push_back(bench::Table::time_cell(outcome));
+      }
+      table.row(cells);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared sweep for Figures 8/9 (single-node baseline comparison) and
+// Figures 11/12 (KV-compression comparison): one table per benchmark,
+// rows = dataset sizes, columns = (peak memory, time) per framework
+// configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "workloads.hpp"
+
+namespace bench {
+
+struct Sweep {
+  App app;
+  std::vector<std::uint64_t> xs;  ///< bytes (WC), points (OC), scale (BFS)
+};
+
+inline void run_figure(const std::string& figure,
+                       const std::string& caption,
+                       const simtime::MachineProfile& machine,
+                       const std::vector<Sweep>& sweeps,
+                       const std::vector<FrameworkConfig>& configs) {
+  const int ranks = machine.ranks_per_node;  // single node
+  for (const Sweep& sweep : sweeps) {
+    pfs::FileSystem fs(machine, ranks);
+    std::vector<std::string> columns{"x"};
+    for (const auto& fc : configs) {
+      columns.push_back(fc.label + " mem");
+      columns.push_back(fc.label + " time");
+    }
+    Table table(figure + " — " + app_name(sweep.app), caption, columns);
+    for (const std::uint64_t x : sweep.xs) {
+      std::vector<std::string> cells{x_label(sweep.app, x)};
+      for (const auto& fc : configs) {
+        const Outcome outcome =
+            run_point(sweep.app, x, fc, ranks, machine, fs);
+        cells.push_back(Table::mem_cell(outcome));
+        cells.push_back(Table::time_cell(outcome));
+      }
+      table.row(cells);
+    }
+  }
+}
+
+/// Geometric size ladder a, 2a, 4a, ... (n points).
+inline std::vector<std::uint64_t> ladder(std::uint64_t first, int n) {
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(first << i);
+  return xs;
+}
+
+/// Linear ladder for BFS scales: s, s+1, ..., s+n-1.
+inline std::vector<std::uint64_t> scales(std::uint64_t first, int n) {
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(first + static_cast<std::uint64_t>(i));
+  return xs;
+}
+
+}  // namespace bench

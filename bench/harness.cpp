@@ -1,0 +1,114 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "mutil/error.hpp"
+
+namespace bench {
+
+const char* Outcome::status_name() const {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kSpilled: return "spill";
+    case Status::kOom: return "oom";
+    case Status::kError: return "err";
+  }
+  return "?";
+}
+
+Outcome run_config(int nranks, const simtime::MachineProfile& machine,
+                   pfs::FileSystem& fs, const BenchFn& fn) {
+  Outcome outcome;
+  std::atomic<bool> spilled{false};
+  try {
+    const auto stats =
+        simmpi::run(nranks, machine, fs, [&](simmpi::Context& ctx) {
+          if (fn(ctx)) spilled.store(true, std::memory_order_relaxed);
+        });
+    outcome.time = stats.sim_time;
+    outcome.peak = stats.node_peak;
+    outcome.shuffled = stats.shuffle_bytes;
+    outcome.status =
+        spilled.load() ? Outcome::Status::kSpilled : Outcome::Status::kOk;
+  } catch (const mutil::OutOfMemoryError& e) {
+    outcome.status = Outcome::Status::kOom;
+    outcome.detail = e.what();
+  } catch (const mutil::Error& e) {
+    outcome.status = Outcome::Status::kError;
+    outcome.detail = e.what();
+  }
+  return outcome;
+}
+
+std::string paper_size(std::uint64_t scaled_bytes) {
+  return mutil::format_size(scaled_bytes * 1024);
+}
+
+Table::Table(std::string figure, std::string caption,
+             std::vector<std::string> columns)
+    : columns_(std::move(columns)),
+      figure_(std::move(figure)),
+      caption_(std::move(caption)) {
+  widths_.resize(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths_[i] = columns_[i].size();
+  }
+}
+
+void Table::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    widths_[i] = std::max(widths_[i], cells[i].size());
+  }
+}
+
+std::string Table::mem_cell(const Outcome& o) {
+  if (!o.ok() && o.status != Outcome::Status::kSpilled) return "-";
+  return mutil::format_size(o.peak);
+}
+
+std::string Table::time_cell(const Outcome& o) {
+  if (o.status == Outcome::Status::kOom ||
+      o.status == Outcome::Status::kError) {
+    return "-";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fs%s", o.time,
+                o.status == Outcome::Status::kSpilled ? "*" : "");
+  return buf;
+}
+
+Table::~Table() {
+  std::printf("\n=== %s ===\n%s\n", figure_.c_str(), caption_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::vector<std::string> rule;
+  rule.reserve(columns_.size());
+  for (const std::size_t w : widths_) rule.emplace_back(w, '-');
+  print_row(rule);
+  for (const auto& cells : rows_) print_row(cells);
+  std::printf(
+      "('-' = cannot run in memory; '*' = spilled to the parallel file "
+      "system; sizes labelled at paper scale, 1024x ours)\n");
+}
+
+mutil::Config parse_cli(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strchr(argv[i], '=') != nullptr) args.emplace_back(argv[i]);
+  }
+  return mutil::Config::from_args(args);
+}
+
+bool quick_mode(const mutil::Config& cfg) {
+  return !cfg.get_bool("full", false);
+}
+
+}  // namespace bench

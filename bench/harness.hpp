@@ -1,0 +1,80 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every bench binary regenerates one of the paper's figures as a table:
+// one row per x-axis point, one column pair (peak memory, time) per
+// series. Configurations that cannot run in memory print "-" exactly
+// like the paper's missing data points, annotated with why (OOM = hit
+// the node memory budget, SPILL = went out of core, ERR = framework
+// limitation such as a KMV larger than a page).
+//
+// All sizes are scaled 1/1024 from the paper; labels show the
+// paper-equivalent size (e.g. our 1 MB prints as "1G(sc)").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mutil/config.hpp"
+#include "mutil/sizes.hpp"
+#include "pfs/filesystem.hpp"
+#include "simmpi/runtime.hpp"
+#include "simtime/machine.hpp"
+
+namespace bench {
+
+struct Outcome {
+  enum class Status { kOk, kSpilled, kOom, kError };
+  Status status = Status::kOk;
+  double time = 0.0;         ///< simulated seconds
+  std::uint64_t peak = 0;    ///< max per-node peak memory, bytes
+  std::uint64_t shuffled = 0;
+  std::string detail;        ///< error text for kOom/kError
+
+  bool ok() const { return status == Status::kOk; }
+  const char* status_name() const;
+};
+
+/// The workload body; return true if the framework spilled to the PFS.
+using BenchFn = std::function<bool(simmpi::Context&)>;
+
+/// Run one configuration, translating OOM/usage errors into statuses.
+Outcome run_config(int nranks, const simtime::MachineProfile& machine,
+                   pfs::FileSystem& fs, const BenchFn& fn);
+
+/// Scale helper: our bytes -> the paper's label (x1024), e.g. 1M -> "1G".
+std::string paper_size(std::uint64_t scaled_bytes);
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  Table(std::string figure, std::string caption,
+        std::vector<std::string> columns);
+
+  /// Print one row; use "-" cells for missing points.
+  void row(const std::vector<std::string>& cells);
+
+  /// Memory+time cell pair from an outcome ("3.2MB", "12.4s" or "-").
+  static std::string mem_cell(const Outcome& o);
+  static std::string time_cell(const Outcome& o);
+
+  ~Table();
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string figure_;
+  std::string caption_;
+};
+
+/// Parse trailing key=value CLI arguments into a Config.
+mutil::Config parse_cli(int argc, char** argv);
+
+/// true unless "quick=0" / "full=1" style flags say otherwise; quick mode
+/// trims the largest x-axis points so `ctest`-style sweeps stay fast.
+bool quick_mode(const mutil::Config& cfg);
+
+}  // namespace bench

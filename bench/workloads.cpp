@@ -1,0 +1,129 @@
+#include "workloads.hpp"
+
+#include "apps/bfs.hpp"
+#include "apps/octree.hpp"
+#include "apps/wordcount.hpp"
+
+namespace bench {
+
+const char* app_name(App app) {
+  switch (app) {
+    case App::kWcUniform: return "WC (Uniform)";
+    case App::kWcWikipedia: return "WC (Wikipedia)";
+    case App::kOc: return "OC";
+    case App::kBfs: return "BFS";
+  }
+  return "?";
+}
+
+std::string x_label(App app, std::uint64_t x) {
+  switch (app) {
+    case App::kWcUniform:
+    case App::kWcWikipedia:
+      return paper_size(x);
+    case App::kOc:
+      // Our point counts are the paper's scaled by 1/1024 = 2^10.
+      return mutil::format_pow2(x << 10);
+    case App::kBfs:
+      return mutil::format_pow2((1ull << x) << 10);
+  }
+  return "?";
+}
+
+FrameworkConfig FrameworkConfig::mimir(std::string label, bool hint,
+                                       bool pr, bool cps) {
+  FrameworkConfig fc;
+  fc.fw = Fw::kMimir;
+  fc.label = std::move(label);
+  fc.hint = hint;
+  fc.pr = pr;
+  fc.cps = cps;
+  return fc;
+}
+
+FrameworkConfig FrameworkConfig::mrmpi(std::string label,
+                                       std::uint64_t page, bool cps) {
+  FrameworkConfig fc;
+  fc.fw = Fw::kMrMpi;
+  fc.label = std::move(label);
+  fc.page_size = page;
+  fc.cps = cps;
+  return fc;
+}
+
+namespace {
+
+std::vector<std::string> wc_input(App app, std::uint64_t bytes, int nranks,
+                                  pfs::FileSystem& fs, std::uint64_t seed) {
+  const std::string prefix =
+      std::string(app == App::kWcUniform ? "wc-uni-" : "wc-wiki-") +
+      std::to_string(bytes);
+  if (fs.exists(prefix + "/part0")) {
+    std::vector<std::string> files;
+    for (int f = 0; f < nranks; ++f) {
+      files.push_back(prefix + "/part" + std::to_string(f));
+    }
+    return files;
+  }
+  apps::wc::GenOptions gen;
+  gen.total_bytes = bytes;
+  gen.num_files = nranks;
+  gen.seed = seed;
+  return app == App::kWcUniform
+             ? apps::wc::generate_uniform(fs, prefix, gen)
+             : apps::wc::generate_wikipedia(fs, prefix, gen);
+}
+
+}  // namespace
+
+Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
+                  int nranks, const simtime::MachineProfile& machine,
+                  pfs::FileSystem& fs, std::uint64_t seed) {
+  const bool mrmpi = fc.fw == FrameworkConfig::Fw::kMrMpi;
+  switch (app) {
+    case App::kWcUniform:
+    case App::kWcWikipedia: {
+      apps::wc::RunOptions opts;
+      opts.files = wc_input(app, x, nranks, fs, seed);
+      opts.page_size = fc.page_size;
+      opts.comm_buffer = fc.comm_buffer;
+      opts.hint = fc.hint;
+      opts.pr = fc.pr;
+      opts.cps = fc.cps;
+      return run_config(nranks, machine, fs, [&](simmpi::Context& ctx) {
+        if (mrmpi) return apps::wc::run_mrmpi(ctx, opts).spilled;
+        return apps::wc::run_mimir(ctx, opts).spilled;
+      });
+    }
+    case App::kOc: {
+      apps::oc::RunOptions opts;
+      opts.num_points = x;
+      opts.seed = seed;
+      opts.page_size = fc.page_size;
+      opts.comm_buffer = fc.comm_buffer;
+      opts.hint = fc.hint;
+      opts.pr = fc.pr;
+      opts.cps = fc.cps;
+      return run_config(nranks, machine, fs, [&](simmpi::Context& ctx) {
+        if (mrmpi) return apps::oc::run_mrmpi(ctx, opts).spilled;
+        return apps::oc::run_mimir(ctx, opts).spilled;
+      });
+    }
+    case App::kBfs: {
+      apps::bfs::RunOptions opts;
+      opts.scale = static_cast<int>(x);
+      opts.seed = seed;
+      opts.page_size = fc.page_size;
+      opts.comm_buffer = fc.comm_buffer;
+      opts.hint = fc.hint;
+      opts.cps = fc.cps;
+      return run_config(nranks, machine, fs, [&](simmpi::Context& ctx) {
+        if (mrmpi) return apps::bfs::run_mrmpi(ctx, opts).spilled;
+        return apps::bfs::run_mimir(ctx, opts).spilled;
+      });
+    }
+  }
+  return {};
+}
+
+}  // namespace bench

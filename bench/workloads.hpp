@@ -1,0 +1,45 @@
+// Workload dispatch shared by the figure benches: every figure sweeps
+// {benchmark x size x framework-config}, so the mapping from those
+// coordinates to a runnable job lives here once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace bench {
+
+enum class App { kWcUniform, kWcWikipedia, kOc, kBfs };
+
+const char* app_name(App app);
+
+/// x-axis label for an app point (paper-scale for WC sizes, 2^k for
+/// OC points / BFS vertices).
+std::string x_label(App app, std::uint64_t x);
+
+struct FrameworkConfig {
+  enum class Fw { kMimir, kMrMpi };
+  Fw fw = Fw::kMimir;
+  std::string label;
+  std::uint64_t page_size = 64 << 10;
+  std::uint64_t comm_buffer = 64 << 10;
+  bool hint = false;
+  bool pr = false;
+  bool cps = false;
+
+  static FrameworkConfig mimir(std::string label, bool hint = false,
+                               bool pr = false, bool cps = false);
+  static FrameworkConfig mrmpi(std::string label, std::uint64_t page,
+                               bool cps = false);
+};
+
+/// Run one (app, x, config) point. `x` is total input bytes for WC,
+/// point count for OC, and log2(vertices) for BFS. WC inputs are
+/// generated into `fs` on first use and cached by size.
+Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
+                  int nranks, const simtime::MachineProfile& machine,
+                  pfs::FileSystem& fs, std::uint64_t seed = 1);
+
+}  // namespace bench

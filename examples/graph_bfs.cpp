@@ -1,0 +1,63 @@
+// Graph BFS CLI — the Graph500-style map-only benchmark.
+//
+// Usage:
+//   ./graph_bfs [key=value ...]
+//
+// Keys: machine, ranks, scale (2^scale vertices), edge_factor,
+//       framework=mimir|mrmpi, hint/cps, page, comm, seed.
+#include <cstdio>
+#include <string>
+
+#include "apps/bfs.hpp"
+#include "mutil/config.hpp"
+#include "mutil/sizes.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  const auto cfg = mutil::Config::from_args(args);
+
+  auto machine =
+      simtime::MachineProfile::by_name(cfg.get_string("machine", "comet"));
+  machine.apply_overrides(cfg);
+  const int ranks =
+      static_cast<int>(cfg.get_int("ranks", machine.ranks_per_node));
+
+  apps::bfs::RunOptions opts;
+  opts.scale = static_cast<int>(cfg.get_int("scale", 12));
+  opts.edge_factor = static_cast<int>(cfg.get_int("edge_factor", 16));
+  opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 3));
+  opts.page_size = cfg.get_size("page", 64 << 10);
+  opts.comm_buffer = cfg.get_size("comm", 64 << 10);
+  opts.hint = cfg.get_bool("hint", false);
+  opts.cps = cfg.get_bool("cps", false);
+  const bool mrmpi = cfg.get_string("framework", "mimir") == "mrmpi";
+
+  pfs::FileSystem fs(machine, ranks);
+  apps::bfs::Result result;
+  const auto stats = simmpi::run(ranks, machine, fs,
+                                 [&](simmpi::Context& ctx) {
+                                   result = mrmpi
+                                                ? apps::bfs::run_mrmpi(ctx, opts)
+                                                : apps::bfs::run_mimir(ctx, opts);
+                                 });
+
+  std::printf("BFS (%s, %s)\n", mrmpi ? "MR-MPI" : "Mimir",
+              machine.name.c_str());
+  std::printf("  vertices          : 2^%d\n", opts.scale);
+  std::printf("  edges             : %llu\n",
+              static_cast<unsigned long long>(opts.num_edges()));
+  std::printf("  root              : %llu\n",
+              static_cast<unsigned long long>(opts.root()));
+  std::printf("  visited           : %llu\n",
+              static_cast<unsigned long long>(result.visited));
+  std::printf("  BFS levels        : %llu\n",
+              static_cast<unsigned long long>(result.levels));
+  std::printf("  checksum          : %016llx\n",
+              static_cast<unsigned long long>(result.checksum));
+  std::printf("  peak node memory  : %s\n",
+              mutil::format_size(stats.node_peak).c_str());
+  std::printf("  execution time    : %.3f simulated seconds\n",
+              stats.sim_time);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: WordCount in ~40 lines of user code.
+//
+// Demonstrates the minimal Mimir workflow: write input to the (simulated)
+// parallel file system, run a job with a map and a reduce callback, and
+// read the output KVs.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "mimir/mimir.hpp"
+#include "simmpi/runtime.hpp"
+
+int main() {
+  // A 4-rank "job" on the test machine profile (unlimited memory).
+  const auto machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, /*num_clients=*/4);
+
+  // Stage the input on the parallel file system (normally your data is
+  // already there).
+  simtime::Clock setup;
+  fs.write_file("input/hello.txt",
+                "the quick brown fox jumps over the lazy dog\n"
+                "the dog barks\n",
+                setup);
+  const std::vector<std::string> files{"input/hello.txt"};
+
+  simmpi::run(4, machine, fs, [&](simmpi::Context& ctx) {
+    mimir::Job job(ctx);
+
+    // Map: split each text chunk into words, emit (word, 1).
+    job.map_text_files(files, [](std::string_view chunk,
+                                 mimir::Emitter& out) {
+      std::size_t start = 0;
+      while (start < chunk.size()) {
+        std::size_t stop = chunk.find_first_of(" \n", start);
+        if (stop == std::string_view::npos) stop = chunk.size();
+        if (stop > start) {
+          out.emit(chunk.substr(start, stop - start), std::uint64_t{1});
+        }
+        start = stop + 1;
+      }
+    });
+
+    // Reduce: sum the counts for each word.
+    job.reduce([](std::string_view word, mimir::ValueReader& values,
+                  mimir::Emitter& out) {
+      std::uint64_t total = 0;
+      std::string_view v;
+      while (values.next(v)) total += mimir::as_u64(v);
+      out.emit(word, total);
+    });
+
+    // Each rank owns the words that hash to it.
+    job.output().scan([&](const mimir::KVView& kv) {
+      std::printf("rank %d: %-8.*s %llu\n", ctx.rank(),
+                  static_cast<int>(kv.key.size()), kv.key.data(),
+                  static_cast<unsigned long long>(mimir::as_u64(kv.value)));
+    });
+  });
+  return 0;
+}

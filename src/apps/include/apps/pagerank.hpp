@@ -1,0 +1,61 @@
+// PageRank — an additional iterative MapReduce workload of the class the
+// paper's introduction motivates (MR-MPI's own flagship applications are
+// large-scale graph algorithms; Plimpton & Devine evaluate PageRank-like
+// kernels). Exercises floating-point values, dangling-mass reduction,
+// and repeated full-graph shuffles on both frameworks.
+//
+// Power iteration with damping d over the directed Kronecker graph
+// (edges u->v only):
+//
+//   pr'(v) = (1-d)/N + d * (sum_{u->v} pr(u)/outdeg(u) + dangling/N)
+//
+// Each iteration is one MapReduce job: map emits (v, pr(u)/outdeg(u))
+// contributions from the owner of u; the reduction sums contributions
+// at the owner of v. The sum-combiner makes pr/cps applicable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mimir/job.hpp"
+#include "mrmpi/mrmpi.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace apps::pr {
+
+struct RunOptions {
+  int scale = 10;        ///< 2^scale vertices
+  int edge_factor = 16;  ///< directed edges = edge_factor * vertices
+  std::uint64_t seed = 3;
+  int iterations = 10;
+  double damping = 0.85;
+  std::uint64_t page_size = 64 << 10;
+  std::uint64_t comm_buffer = 64 << 10;
+  bool hint = false;
+  bool cps = false;
+
+  std::uint64_t num_vertices() const { return 1ull << scale; }
+  std::uint64_t num_edges() const {
+    return num_vertices() * static_cast<std::uint64_t>(edge_factor);
+  }
+};
+
+struct Result {
+  double total_rank = 0;   ///< should stay ~1.0
+  double max_rank = 0;     ///< highest PageRank value
+  std::uint64_t max_vertex = 0;
+  double last_delta = 0;   ///< L1 change of the final iteration
+  bool spilled = false;
+};
+
+/// Serial reference (same graph, same iteration count).
+Result reference(const RunOptions& opts);
+/// Reference vector for per-vertex comparisons in tests.
+std::unordered_map<std::uint64_t, double> reference_ranks(
+    const RunOptions& opts);
+
+Result run_mimir(simmpi::Context& ctx, const RunOptions& opts);
+Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
+                 mrmpi::OocMode ooc = mrmpi::OocMode::kSpill);
+
+}  // namespace apps::pr

@@ -1,0 +1,51 @@
+// Distributed sample sort (TeraSort-style) — exercises the paper's
+// §III-A "alternative hash functions" hook: instead of hash routing,
+// a range partitioner built from sampled splitters sends each key to
+// the rank owning its range, so after one map-only job plus a local
+// sort the data is globally ordered across ranks.
+//
+//   1. every rank samples its local keys; samples are gathered and
+//      broadcast, yielding p-1 splitters;
+//   2. one MapReduce map-only job shuffles (key, payload) records with
+//      the range partitioner;
+//   3. each rank sorts its received range locally.
+//
+// Works on both frameworks (MR-MPI's aggregate also accepts the
+// partitioner).
+#pragma once
+
+#include <cstdint>
+
+#include "mimir/job.hpp"
+#include "mrmpi/mrmpi.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace apps::sort {
+
+struct RunOptions {
+  std::uint64_t num_records = 1 << 14;  ///< total records across ranks
+  std::uint64_t seed = 17;
+  int samples_per_rank = 32;
+  std::uint64_t page_size = 64 << 10;
+  std::uint64_t comm_buffer = 64 << 10;
+  bool hint = true;  ///< keys and payloads are fixed 8-byte values
+};
+
+struct Result {
+  std::uint64_t records = 0;       ///< records after the shuffle (global)
+  std::uint64_t checksum = 0;      ///< order-independent key digest
+  bool globally_sorted = false;    ///< ranges ordered across ranks
+  double imbalance = 0.0;          ///< max rank share / ideal share
+};
+
+/// The key for a global record index (deterministic).
+std::uint64_t record_key(std::uint64_t seed, std::uint64_t index);
+
+/// Serial reference digest over all records.
+std::uint64_t reference_checksum(const RunOptions& opts);
+
+Result run_mimir(simmpi::Context& ctx, const RunOptions& opts);
+Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
+                 mrmpi::OocMode ooc = mrmpi::OocMode::kSpill);
+
+}  // namespace apps::sort

@@ -1,0 +1,128 @@
+// Tracked open-addressing map from 64-bit vertex ids to a POD value.
+//
+// BFS keeps per-rank traversal state (visited levels, adjacency index)
+// outside the MapReduce dataflow; this map charges that state to the
+// rank's memory tracker so it shows up in peak-usage measurements like
+// any framework buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "memtrack/tracker.hpp"
+#include "mutil/hash.hpp"
+
+namespace apps {
+
+template <typename Value>
+class VertexMap {
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  explicit VertexMap(memtrack::Tracker& tracker,
+                     std::uint64_t initial_slots = 1024)
+      : tracker_(&tracker) {
+    slots_ = memtrack::TrackedBuffer(*tracker_,
+                                     initial_slots * sizeof(Entry));
+    slot_count_ = initial_slots;
+    init_slots();
+  }
+
+  /// Insert (vertex, value) if absent. Returns true if inserted, false
+  /// if the vertex was already present (value unchanged).
+  bool insert_if_absent(std::uint64_t vertex, const Value& value) {
+    maybe_grow();
+    Entry* slot = probe(vertex);
+    if (slot->vertex != kEmpty) return false;
+    slot->vertex = vertex;
+    slot->value = value;
+    ++size_;
+    return true;
+  }
+
+  /// Insert or overwrite.
+  void put(std::uint64_t vertex, const Value& value) {
+    maybe_grow();
+    Entry* slot = probe(vertex);
+    if (slot->vertex == kEmpty) {
+      slot->vertex = vertex;
+      ++size_;
+    }
+    slot->value = value;
+  }
+
+  std::optional<Value> find(std::uint64_t vertex) const {
+    const Entry* slot = const_cast<VertexMap*>(this)->probe(vertex);
+    if (slot->vertex == kEmpty) return std::nullopt;
+    return slot->value;
+  }
+
+  bool contains(std::uint64_t vertex) const {
+    return find(vertex).has_value();
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const auto* entries = reinterpret_cast<const Entry*>(slots_.data());
+    for (std::uint64_t i = 0; i < slot_count_; ++i) {
+      if (entries[i].vertex != kEmpty) {
+        fn(entries[i].vertex, entries[i].value);
+      }
+    }
+  }
+
+  std::uint64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  // Vertex ids are < 2^63 in practice; reserve ~0 as the empty marker.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  struct Entry {
+    std::uint64_t vertex;
+    Value value;
+  };
+
+  void init_slots() {
+    auto* entries = reinterpret_cast<Entry*>(slots_.data());
+    for (std::uint64_t i = 0; i < slot_count_; ++i) {
+      entries[i].vertex = kEmpty;
+    }
+  }
+
+  Entry* probe(std::uint64_t vertex) {
+    auto* entries = reinterpret_cast<Entry*>(slots_.data());
+    std::uint64_t idx = mutil::mix64(vertex) & (slot_count_ - 1);
+    while (entries[idx].vertex != kEmpty &&
+           entries[idx].vertex != vertex) {
+      idx = (idx + 1) & (slot_count_ - 1);
+    }
+    return &entries[idx];
+  }
+
+  void maybe_grow() {
+    if (10 * (size_ + 1) <= 7 * slot_count_) return;
+    const std::uint64_t new_count = slot_count_ * 2;
+    memtrack::TrackedBuffer bigger(*tracker_, new_count * sizeof(Entry));
+    auto* fresh = reinterpret_cast<Entry*>(bigger.data());
+    for (std::uint64_t i = 0; i < new_count; ++i) fresh[i].vertex = kEmpty;
+    const auto* old = reinterpret_cast<const Entry*>(slots_.data());
+    for (std::uint64_t i = 0; i < slot_count_; ++i) {
+      if (old[i].vertex == kEmpty) continue;
+      std::uint64_t idx = mutil::mix64(old[i].vertex) & (new_count - 1);
+      while (fresh[idx].vertex != kEmpty) idx = (idx + 1) & (new_count - 1);
+      fresh[idx] = old[i];
+    }
+    slots_ = std::move(bigger);
+    slot_count_ = new_count;
+  }
+
+  memtrack::Tracker* tracker_;
+  memtrack::TrackedBuffer slots_;
+  std::uint64_t slot_count_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace apps

@@ -1,0 +1,90 @@
+// WordCount (WC) — the paper's single-pass benchmark (§IV-A).
+//
+// Two dataset generators stand in for the paper's inputs:
+//   * uniform    — words drawn uniformly from a fixed vocabulary of
+//                  equal-length words (the paper's synthetic "Uniform");
+//   * wikipedia  — Zipf-distributed word frequencies over a large
+//                  vocabulary with heterogeneous word lengths, matching
+//                  the properties the paper uses the PUMA Wikipedia
+//                  dataset for: heavy key skew (load imbalance across
+//                  ranks) and variable-length keys.
+//
+// The same map/reduce/combine callbacks drive both frameworks, and
+// run_mimir / run_mrmpi return an order-independent checksum so tests
+// can assert that every optimization path produces identical counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mimir/job.hpp"
+#include "mrmpi/mrmpi.hpp"
+#include "pfs/filesystem.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace apps::wc {
+
+// --- callbacks (shared by both frameworks) -------------------------------
+
+void map_words(std::string_view chunk, mimir::Emitter& out);
+void reduce_counts(std::string_view key, mimir::ValueReader& values,
+                   mimir::Emitter& out);
+void combine_counts(std::string_view key, std::string_view a,
+                    std::string_view b, std::string& out);
+
+// --- dataset generation ---------------------------------------------------
+
+struct GenOptions {
+  std::uint64_t total_bytes = 1 << 20;
+  int num_files = 1;
+  std::uint64_t seed = 1;
+  /// uniform: vocabulary size and fixed word length.
+  std::uint64_t vocabulary = 4096;
+  int word_length = 7;
+  /// wikipedia: Zipf exponent (higher = more skew).
+  double zipf_exponent = 1.05;
+};
+
+/// Write a uniform dataset under `prefix`; returns the file names.
+std::vector<std::string> generate_uniform(pfs::FileSystem& fs,
+                                          const std::string& prefix,
+                                          const GenOptions& opts);
+
+/// Write a Wikipedia-like (Zipf, variable word length) dataset.
+std::vector<std::string> generate_wikipedia(pfs::FileSystem& fs,
+                                            const std::string& prefix,
+                                            const GenOptions& opts);
+
+/// Serial reference: exact counts, for correctness tests.
+std::map<std::string, std::uint64_t> reference_counts(
+    pfs::FileSystem& fs, const std::vector<std::string>& files);
+
+// --- drivers ---------------------------------------------------------------
+
+struct RunOptions {
+  std::vector<std::string> files;
+  std::uint64_t page_size = 64 << 10;
+  std::uint64_t comm_buffer = 64 << 10;
+  bool hint = false;  ///< KV-hint: string key, fixed 8-byte value
+  bool pr = false;    ///< partial reduction instead of convert+reduce
+  bool cps = false;   ///< KV compression before aggregate
+};
+
+struct Result {
+  std::uint64_t total_words = 0;   ///< sum of all counts (global)
+  std::uint64_t unique_words = 0;  ///< distinct words (global)
+  std::uint64_t checksum = 0;      ///< order-independent digest (global)
+  bool spilled = false;            ///< any rank went out of core (MR-MPI)
+};
+
+/// Run WordCount on Mimir. Collective; all ranks return the same Result.
+Result run_mimir(simmpi::Context& ctx, const RunOptions& opts);
+
+/// Run WordCount on MR-MPI (hint/pr are not available there; cps maps to
+/// MR-MPI's compress()).
+Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
+                 mrmpi::OocMode ooc = mrmpi::OocMode::kSpill);
+
+}  // namespace apps::wc

@@ -1,0 +1,297 @@
+#include "apps/pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/bfs.hpp"  // kronecker_edge
+#include "apps/csr.hpp"
+#include "apps/vertex_map.hpp"
+#include "mutil/hash.hpp"
+
+namespace apps::pr {
+
+namespace {
+
+std::string_view id_view(const std::uint64_t& v) {
+  return {reinterpret_cast<const char*>(&v), 8};
+}
+
+int owner_of(std::uint64_t vertex, int nranks) {
+  return static_cast<int>(mutil::hash_bytes(id_view(vertex)) %
+                          static_cast<std::uint64_t>(nranks));
+}
+
+void combine_sum(std::string_view, std::string_view a, std::string_view b,
+                 std::string& out) {
+  out.assign(mimir::as_view(mimir::as_f64(a) + mimir::as_f64(b)));
+}
+
+mimir::KVHint hint_for(bool hint) {
+  return hint ? mimir::KVHint::fixed(8, 8) : mimir::KVHint::variable();
+}
+
+/// This rank's owned vertices, in increasing id order.
+std::vector<std::uint64_t> owned_vertices(std::uint64_t n, int rank,
+                                          int nranks) {
+  std::vector<std::uint64_t> mine;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (owner_of(v, nranks) == rank) mine.push_back(v);
+  }
+  return mine;
+}
+
+/// Shared per-iteration state update; returns the L1 delta contribution.
+double apply_update(const std::vector<std::uint64_t>& owned,
+                    const VertexMap<double>& contributions,
+                    const Csr& out_edges, double dangling_per_vertex,
+                    double base, double damping,
+                    VertexMap<double>& ranks, double* dangling_out) {
+  double delta = 0;
+  double next_dangling = 0;
+  for (const std::uint64_t v : owned) {
+    const double contrib = contributions.find(v).value_or(0.0);
+    const double updated =
+        base + damping * (contrib + dangling_per_vertex);
+    delta += std::abs(updated - ranks.find(v).value_or(0.0));
+    ranks.put(v, updated);
+    if (out_edges.degree_of(v) == 0) next_dangling += updated;
+  }
+  *dangling_out = next_dangling;
+  return delta;
+}
+
+}  // namespace
+
+std::unordered_map<std::uint64_t, double> reference_ranks(
+    const RunOptions& opts) {
+  const std::uint64_t n = opts.num_vertices();
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> adj;
+  for (std::uint64_t e = 0; e < opts.num_edges(); ++e) {
+    const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+    adj[u].push_back(v);
+  }
+  std::unordered_map<std::uint64_t, double> ranks;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    ranks[v] = 1.0 / static_cast<double>(n);
+  }
+  const double base = (1.0 - opts.damping) / static_cast<double>(n);
+  for (int it = 0; it < opts.iterations; ++it) {
+    std::unordered_map<std::uint64_t, double> contrib;
+    double dangling = 0;
+    for (const auto& [v, r] : ranks) {
+      const auto neighbors = adj.find(v);
+      if (neighbors == adj.end() || neighbors->second.empty()) {
+        dangling += r;
+        continue;
+      }
+      const double share =
+          r / static_cast<double>(neighbors->second.size());
+      for (const std::uint64_t t : neighbors->second) contrib[t] += share;
+    }
+    const double dangling_per_vertex = dangling / static_cast<double>(n);
+    for (auto& [v, r] : ranks) {
+      double c = 0;
+      const auto it2 = contrib.find(v);
+      if (it2 != contrib.end()) c = it2->second;
+      r = base + opts.damping * (c + dangling_per_vertex);
+    }
+  }
+  return ranks;
+}
+
+Result reference(const RunOptions& opts) {
+  const auto ranks = reference_ranks(opts);
+  Result result;
+  for (const auto& [v, r] : ranks) {
+    result.total_rank += r;
+    if (r > result.max_rank) {
+      result.max_rank = r;
+      result.max_vertex = v;
+    }
+  }
+  return result;
+}
+
+Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
+  const std::uint64_t n = opts.num_vertices();
+  mimir::JobConfig cfg;
+  cfg.page_size = opts.page_size;
+  cfg.comm_buffer = opts.comm_buffer;
+  cfg.hint = hint_for(opts.hint);
+  cfg.kv_compression = opts.cps;
+
+  // Partition phase: route each directed edge to its source's owner.
+  // Compression applies to the per-iteration contribution exchange, not
+  // here (adjacency needs every edge).
+  mimir::JobConfig partition_cfg = cfg;
+  partition_cfg.kv_compression = false;
+  mimir::Job partition(ctx, partition_cfg);
+  partition.map_custom([&](mimir::Emitter& out) {
+    const std::uint64_t edges = opts.num_edges();
+    const auto r = static_cast<std::uint64_t>(ctx.rank());
+    const auto p = static_cast<std::uint64_t>(ctx.size());
+    for (std::uint64_t e = edges * r / p; e < edges * (r + 1) / p; ++e) {
+      const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+      out.emit(id_view(u), id_view(v));
+    }
+  });
+  Csr out_edges(ctx.tracker);
+  {
+    mimir::KVContainer edges = partition.take_intermediate();
+    out_edges.build([&](const auto& fn) { edges.scan(fn); });
+  }
+
+  const std::vector<std::uint64_t> owned =
+      owned_vertices(n, ctx.rank(), ctx.size());
+  ctx.tracker.allocate(owned.size() * 8);
+  VertexMap<double> ranks(ctx.tracker);
+  double dangling_local = 0;
+  for (const std::uint64_t v : owned) {
+    ranks.put(v, 1.0 / static_cast<double>(n));
+    if (out_edges.degree_of(v) == 0) {
+      dangling_local += 1.0 / static_cast<double>(n);
+    }
+  }
+  const double base = (1.0 - opts.damping) / static_cast<double>(n);
+
+  Result result;
+  for (int it = 0; it < opts.iterations; ++it) {
+    const double dangling =
+        ctx.comm.allreduce_f64(dangling_local, simmpi::Op::kSum);
+    mimir::Job step(ctx, cfg);
+    step.map_custom(
+        [&](mimir::Emitter& out) {
+          for (const std::uint64_t v : owned) {
+            const auto neighbors = out_edges.neighbors_of(v);
+            if (neighbors.empty()) continue;
+            const double share = ranks.find(v).value_or(0.0) /
+                                 static_cast<double>(neighbors.size());
+            for (const std::uint64_t t : neighbors) {
+              out.emit(id_view(t), mimir::as_view(share));
+            }
+          }
+        },
+        opts.cps ? mimir::CombineFn(combine_sum) : mimir::CombineFn{});
+    step.partial_reduce(combine_sum);
+
+    VertexMap<double> contributions(ctx.tracker);
+    step.output().scan([&](const mimir::KVView& kv) {
+      contributions.put(mimir::as_u64(kv.key), mimir::as_f64(kv.value));
+    });
+    const double local_delta = apply_update(
+        owned, contributions, out_edges, dangling / static_cast<double>(n),
+        base, opts.damping, ranks, &dangling_local);
+    result.last_delta =
+        ctx.comm.allreduce_f64(local_delta, simmpi::Op::kSum);
+  }
+
+  double local_total = 0, local_max = 0;
+  std::uint64_t local_argmax = 0;
+  ranks.for_each([&](std::uint64_t v, double r) {
+    local_total += r;
+    if (r > local_max) {
+      local_max = r;
+      local_argmax = v;
+    }
+  });
+  result.total_rank =
+      ctx.comm.allreduce_f64(local_total, simmpi::Op::kSum);
+  result.max_rank = ctx.comm.allreduce_f64(local_max, simmpi::Op::kMax);
+  result.max_vertex = ctx.comm.allreduce_u64(
+      local_max == result.max_rank ? local_argmax : 0, simmpi::Op::kMax);
+  ctx.tracker.release(owned.size() * 8);
+  return result;
+}
+
+Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
+                 mrmpi::OocMode ooc) {
+  const std::uint64_t n = opts.num_vertices();
+  mrmpi::MRConfig cfg;
+  cfg.page_size = opts.page_size;
+  cfg.out_of_core = ooc;
+  mrmpi::MapReduce mr(ctx, cfg);
+
+  mr.map_custom([&](mimir::Emitter& out) {
+    const std::uint64_t edges = opts.num_edges();
+    const auto r = static_cast<std::uint64_t>(ctx.rank());
+    const auto p = static_cast<std::uint64_t>(ctx.size());
+    for (std::uint64_t e = edges * r / p; e < edges * (r + 1) / p; ++e) {
+      const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+      out.emit(id_view(u), id_view(v));
+    }
+  });
+  mr.aggregate();
+  Csr out_edges(ctx.tracker);
+  out_edges.build([&](const auto& fn) { mr.scan_kv(fn); });
+
+  const std::vector<std::uint64_t> owned =
+      owned_vertices(n, ctx.rank(), ctx.size());
+  ctx.tracker.allocate(owned.size() * 8);
+  VertexMap<double> ranks(ctx.tracker);
+  double dangling_local = 0;
+  for (const std::uint64_t v : owned) {
+    ranks.put(v, 1.0 / static_cast<double>(n));
+    if (out_edges.degree_of(v) == 0) {
+      dangling_local += 1.0 / static_cast<double>(n);
+    }
+  }
+  const double base = (1.0 - opts.damping) / static_cast<double>(n);
+
+  Result result;
+  for (int it = 0; it < opts.iterations; ++it) {
+    const double dangling =
+        ctx.comm.allreduce_f64(dangling_local, simmpi::Op::kSum);
+    mr.map_custom([&](mimir::Emitter& out) {
+      for (const std::uint64_t v : owned) {
+        const auto neighbors = out_edges.neighbors_of(v);
+        if (neighbors.empty()) continue;
+        const double share = ranks.find(v).value_or(0.0) /
+                             static_cast<double>(neighbors.size());
+        for (const std::uint64_t t : neighbors) {
+          out.emit(id_view(t), mimir::as_view(share));
+        }
+      }
+    });
+    if (opts.cps) mr.compress(combine_sum);
+    mr.aggregate();
+    mr.convert();
+    mr.reduce([](std::string_view key, mimir::ValueReader& values,
+                 mimir::Emitter& out) {
+      double total = 0;
+      std::string_view v;
+      while (values.next(v)) total += mimir::as_f64(v);
+      out.emit(key, mimir::as_view(total));
+    });
+
+    VertexMap<double> contributions(ctx.tracker);
+    mr.scan_kv([&](const mimir::KVView& kv) {
+      contributions.put(mimir::as_u64(kv.key), mimir::as_f64(kv.value));
+    });
+    const double local_delta = apply_update(
+        owned, contributions, out_edges, dangling / static_cast<double>(n),
+        base, opts.damping, ranks, &dangling_local);
+    result.last_delta =
+        ctx.comm.allreduce_f64(local_delta, simmpi::Op::kSum);
+  }
+
+  double local_total = 0, local_max = 0;
+  std::uint64_t local_argmax = 0;
+  ranks.for_each([&](std::uint64_t v, double r) {
+    local_total += r;
+    if (r > local_max) {
+      local_max = r;
+      local_argmax = v;
+    }
+  });
+  result.total_rank =
+      ctx.comm.allreduce_f64(local_total, simmpi::Op::kSum);
+  result.max_rank = ctx.comm.allreduce_f64(local_max, simmpi::Op::kMax);
+  result.max_vertex = ctx.comm.allreduce_u64(
+      local_max == result.max_rank ? local_argmax : 0, simmpi::Op::kMax);
+  result.spilled = ctx.comm.allreduce_lor(mr.metrics().spilled);
+  ctx.tracker.release(owned.size() * 8);
+  return result;
+}
+
+}  // namespace apps::pr

@@ -1,0 +1,174 @@
+#include "apps/sort.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "mutil/hash.hpp"
+
+namespace apps::sort {
+
+namespace {
+
+std::string_view id_view(const std::uint64_t& v) {
+  return {reinterpret_cast<const char*>(&v), 8};
+}
+
+/// This rank's record index range.
+std::pair<std::uint64_t, std::uint64_t> my_slice(std::uint64_t total,
+                                                 int rank, int nranks) {
+  const auto r = static_cast<std::uint64_t>(rank);
+  const auto p = static_cast<std::uint64_t>(nranks);
+  return {total * r / p, total * (r + 1) / p};
+}
+
+/// Gather `samples_per_rank` evenly spaced local keys, sort the union,
+/// and broadcast p-1 splitters.
+std::vector<std::uint64_t> make_splitters(simmpi::Context& ctx,
+                                          const RunOptions& opts) {
+  const auto [begin, end] =
+      my_slice(opts.num_records, ctx.rank(), ctx.size());
+  std::vector<std::uint64_t> local;
+  const std::uint64_t count = end - begin;
+  for (int s = 0; s < opts.samples_per_rank; ++s) {
+    const std::uint64_t index =
+        begin + count * static_cast<std::uint64_t>(s) /
+                    static_cast<std::uint64_t>(opts.samples_per_rank);
+    if (index < end) local.push_back(record_key(opts.seed, index));
+  }
+  const auto gathered = ctx.comm.gatherv(
+      0, std::span<const std::byte>(
+             reinterpret_cast<const std::byte*>(local.data()),
+             local.size() * 8));
+
+  const auto p = static_cast<std::size_t>(ctx.size());
+  std::vector<std::uint64_t> splitters(p - 1, 0);
+  if (ctx.rank() == 0) {
+    std::vector<std::uint64_t> samples(gathered.data.size() / 8);
+    std::memcpy(samples.data(), gathered.data.data(),
+                gathered.data.size());
+    std::sort(samples.begin(), samples.end());
+    for (std::size_t i = 1; i < p; ++i) {
+      splitters[i - 1] = samples[samples.size() * i / p];
+    }
+  }
+  if (!splitters.empty()) {
+    ctx.comm.bcast(std::span<std::byte>(
+                       reinterpret_cast<std::byte*>(splitters.data()),
+                       splitters.size() * 8),
+                   0);
+  }
+  return splitters;
+}
+
+mimir::PartitionFn range_partitioner(std::vector<std::uint64_t> splitters) {
+  return [splitters = std::move(splitters)](std::string_view key,
+                                            int) -> int {
+    const std::uint64_t k = mimir::as_u64(key);
+    return static_cast<int>(
+        std::upper_bound(splitters.begin(), splitters.end(), k) -
+        splitters.begin());
+  };
+}
+
+/// Verify and summarize this rank's received range.
+Result finish(simmpi::Context& ctx, std::vector<std::uint64_t> keys,
+              std::uint64_t checksum) {
+  std::sort(keys.begin(), keys.end());
+  const bool locally_sorted = true;  // by construction after the sort
+  // Global order: every rank's max must be <= the next rank's min.
+  const std::uint64_t my_min = keys.empty() ? ~0ULL : keys.front();
+  const std::uint64_t my_max = keys.empty() ? 0 : keys.back();
+  const auto mins = ctx.comm.allgather_u64(my_min);
+  const auto maxs = ctx.comm.allgather_u64(my_max);
+  bool ordered = locally_sorted;
+  std::uint64_t prev_max = 0;
+  for (int r = 0; r < ctx.size(); ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (maxs[i] == 0 && mins[i] == ~0ULL) continue;  // empty rank
+    if (mins[i] < prev_max) ordered = false;
+    prev_max = maxs[i];
+  }
+
+  Result result;
+  result.records = ctx.comm.allreduce_u64(keys.size(), simmpi::Op::kSum);
+  result.checksum = ctx.comm.allreduce_u64(checksum, simmpi::Op::kSum);
+  result.globally_sorted = ctx.comm.allreduce_land(ordered);
+  const auto biggest = ctx.comm.allreduce_u64(keys.size(), simmpi::Op::kMax);
+  result.imbalance = static_cast<double>(biggest) *
+                     static_cast<double>(ctx.size()) /
+                     static_cast<double>(std::max<std::uint64_t>(
+                         1, result.records));
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t record_key(std::uint64_t seed, std::uint64_t index) {
+  return mutil::mix64(seed * 0x51ed270b + index);
+}
+
+std::uint64_t reference_checksum(const RunOptions& opts) {
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < opts.num_records; ++i) {
+    checksum += mutil::mix64(record_key(opts.seed, i));
+  }
+  return checksum;
+}
+
+Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
+  mimir::JobConfig cfg;
+  cfg.page_size = opts.page_size;
+  cfg.comm_buffer = opts.comm_buffer;
+  if (opts.hint) cfg.hint = mimir::KVHint::fixed(8, 8);
+  cfg.partitioner = range_partitioner(make_splitters(ctx, opts));
+
+  mimir::Job job(ctx, cfg);
+  job.map_custom([&](mimir::Emitter& out) {
+    const auto [begin, end] =
+        my_slice(opts.num_records, ctx.rank(), ctx.size());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t key = record_key(opts.seed, i);
+      out.emit(id_view(key), id_view(i));  // payload: original position
+    }
+  });
+
+  std::vector<std::uint64_t> keys;
+  std::uint64_t checksum = 0;
+  job.intermediate().scan([&](const mimir::KVView& kv) {
+    const std::uint64_t k = mimir::as_u64(kv.key);
+    keys.push_back(k);
+    checksum += mutil::mix64(k);
+  });
+  return finish(ctx, std::move(keys), checksum);
+}
+
+Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
+                 mrmpi::OocMode ooc) {
+  mrmpi::MRConfig cfg;
+  cfg.page_size = opts.page_size;
+  cfg.out_of_core = ooc;
+  cfg.partitioner = range_partitioner(make_splitters(ctx, opts));
+
+  mrmpi::MapReduce mr(ctx, cfg);
+  mr.map_custom([&](mimir::Emitter& out) {
+    const auto [begin, end] =
+        my_slice(opts.num_records, ctx.rank(), ctx.size());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t key = record_key(opts.seed, i);
+      out.emit(id_view(key), id_view(i));
+    }
+  });
+  mr.aggregate();
+
+  std::vector<std::uint64_t> keys;
+  std::uint64_t checksum = 0;
+  mr.scan_kv([&](const mimir::KVView& kv) {
+    const std::uint64_t k = mimir::as_u64(kv.key);
+    keys.push_back(k);
+    checksum += mutil::mix64(k);
+  });
+  return finish(ctx, std::move(keys), checksum);
+}
+
+}  // namespace apps::sort

@@ -1,0 +1,95 @@
+#include "mutil/config.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "mutil/error.hpp"
+#include "mutil/sizes.hpp"
+
+namespace mutil {
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ConfigError("expected key=value, got '" + arg + "'");
+    }
+    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(std::string_view key) const noexcept {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string_view fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t Config::get_int(std::string_view key,
+                             std::int64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::int64_t value = 0;
+  const auto& text = it->second;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ConfigError("config key '" + std::string(key) +
+                      "': bad integer '" + text + "'");
+  }
+  return value;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  double value = 0.0;
+  const auto& text = it->second;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ConfigError("config key '" + std::string(key) + "': bad double '" +
+                      text + "'");
+  }
+  return value;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::string text = it->second;
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    return false;
+  }
+  throw ConfigError("config key '" + std::string(key) + "': bad bool '" +
+                    it->second + "'");
+}
+
+std::uint64_t Config::get_size(std::string_view key,
+                               std::uint64_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  return parse_size(it->second);
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [key, value] : other.entries_) {
+    entries_[key] = value;
+  }
+}
+
+}  // namespace mutil

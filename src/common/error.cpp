@@ -1,0 +1,4 @@
+#include "mutil/error.hpp"
+
+// Out-of-line anchor for the vtables of the error hierarchy.
+namespace mutil {}

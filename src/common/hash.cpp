@@ -1,0 +1,38 @@
+#include "mutil/hash.hpp"
+
+namespace mutil {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a_raw(const void* p, std::size_t n) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::byte> data) noexcept {
+  return fnv1a_raw(data.data(), data.size());
+}
+
+std::uint64_t fnv1a(std::string_view data) noexcept {
+  return fnv1a_raw(data.data(), data.size());
+}
+
+std::uint64_t hash_bytes(std::span<const std::byte> data) noexcept {
+  return mix64(fnv1a(data));
+}
+
+std::uint64_t hash_bytes(std::string_view data) noexcept {
+  return mix64(fnv1a(data));
+}
+
+}  // namespace mutil

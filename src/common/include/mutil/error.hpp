@@ -1,0 +1,65 @@
+// Error hierarchy shared by all modules of the Mimir reproduction.
+//
+// All recoverable failures are reported as exceptions derived from
+// mutil::Error so that callers can catch one base type at framework
+// boundaries. The two subclasses that benchmarks rely on are
+// OutOfMemoryError (a rank exceeded its simulated node memory budget)
+// and IoError (simulated parallel file system failures).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mutil {
+
+/// Base class for all errors raised by this project.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a tracked allocation would exceed the configured memory
+/// limit of a rank or node. Benchmarks catch this to mark a configuration
+/// as "cannot run in memory", mirroring the paper's missing data points.
+class OutOfMemoryError : public Error {
+ public:
+  OutOfMemoryError(const std::string& what, std::size_t requested,
+                   std::size_t limit)
+      : Error(what), requested_(requested), limit_(limit) {}
+
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t limit_;
+};
+
+/// Raised on simulated parallel-file-system failures (missing file,
+/// read past end, write to a read-only stream, ...).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on malformed configuration values.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on misuse of the simmpi communication substrate (mismatched
+/// collective participation, invalid rank, type size disagreement, ...).
+class CommError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a framework API is driven through an invalid phase
+/// transition (e.g. MR-MPI convert() before aggregate()).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace mutil

@@ -1,0 +1,34 @@
+// Hash functions used for KV partitioning and combiner hash buckets.
+//
+// The project deliberately uses its own hash implementations instead of
+// std::hash so that partitioning decisions are stable across standard
+// libraries — reproducibility of every benchmark table depends on the
+// same key landing on the same rank everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mutil {
+
+/// FNV-1a 64-bit hash. Stable, endian-independent, byte-oriented.
+std::uint64_t fnv1a(std::span<const std::byte> data) noexcept;
+std::uint64_t fnv1a(std::string_view data) noexcept;
+
+/// A stronger 64-bit mix (xxHash-style avalanche) applied on top of
+/// FNV-1a. Used where clustering of adjacent keys must be avoided,
+/// e.g. open-addressing combiner buckets.
+std::uint64_t hash_bytes(std::span<const std::byte> data) noexcept;
+std::uint64_t hash_bytes(std::string_view data) noexcept;
+
+/// Finalizing mix for integer keys (SplitMix64 finalizer).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace mutil

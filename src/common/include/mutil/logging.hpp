@@ -1,0 +1,56 @@
+// Minimal thread-safe leveled logger.
+//
+// Rank threads log concurrently; lines are serialized under one mutex so
+// output never interleaves mid-line. Level is process-global and set once
+// by the driver (benchmarks default to warn to keep tables clean).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mutil {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at the given level (no-op if below the global level).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace mutil

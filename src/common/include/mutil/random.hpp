@@ -1,0 +1,80 @@
+// Deterministic random number generation for dataset synthesis.
+//
+// Xoshiro256** seeded through SplitMix64; plus the distributions the
+// paper's workloads need: uniform words, Zipf-distributed word ranks
+// (Wikipedia-like skew), normal 3-D points (octree clustering), and the
+// Kronecker edge sampler used by the Graph500-style generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mutil {
+
+/// SplitMix64 — used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 — fast, high-quality, reproducible across platforms.
+/// Satisfies UniformRandomBitGenerator so <random> distributions accept it.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift method.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  double normal() noexcept;
+
+  /// Split off an independent stream (for per-rank generators).
+  Xoshiro256 split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Zipf(s, n) sampler over ranks {1..n} using the rejection-inversion
+/// method of Hörmann & Derflinger — O(1) per sample, no O(n) tables.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t num_elements, double exponent);
+
+  /// Returns a rank in [0, num_elements).
+  std::uint64_t sample(Xoshiro256& rng) const noexcept;
+
+  std::uint64_t size() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double h(double x) const noexcept;
+  double h_inv(double x) const noexcept;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double base_;  // normalizer for the rejection test
+};
+
+}  // namespace mutil

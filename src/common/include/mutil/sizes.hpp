@@ -1,0 +1,24 @@
+// Human-readable byte-size parsing and formatting.
+//
+// Benchmark tables print dataset sizes exactly like the paper's axes
+// ("256M", "1G", "2^24"), and configuration accepts the same syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mutil {
+
+/// Parse "64", "64K", "64M", "1G", "2T" (case-insensitive, optional "B"
+/// and "iB" suffixes) into a byte count. Throws ConfigError on garbage.
+std::uint64_t parse_size(std::string_view text);
+
+/// Format a byte count the way the paper labels its axes: powers of two
+/// collapse to "256M", "1G"; other values get one decimal ("1.5G").
+std::string format_size(std::uint64_t bytes);
+
+/// Format a count as a power of two if exact ("2^24"), else plain digits.
+std::string format_pow2(std::uint64_t count);
+
+}  // namespace mutil

@@ -1,0 +1,118 @@
+#include "mutil/random.hpp"
+
+#include <cmath>
+
+#include "mutil/error.hpp"
+
+namespace mutil {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  if (bound == 0) return 0;
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+Xoshiro256 Xoshiro256::split() noexcept {
+  return Xoshiro256(next() ^ 0xa5a5a5a55a5a5a5aULL);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t num_elements, double exponent)
+    : n_(num_elements), s_(exponent) {
+  if (num_elements == 0) throw ConfigError("ZipfSampler: empty domain");
+  if (exponent <= 0.0) throw ConfigError("ZipfSampler: exponent must be > 0");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n_) + 0.5);
+  base_ = h_x1_ - h_n_;
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  // H(x) = integral of t^(-s) dt: (x^(1-s) - 1)/(1 - s), log(x) at s == 1.
+  if (s_ == 1.0) return std::log(x);
+  return std::expm1((1.0 - s_) * std::log(x)) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inv(double x) const noexcept {
+  if (s_ == 1.0) return std::exp(x);
+  return std::exp(std::log1p(x * (1.0 - s_)) / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const noexcept {
+  // Rejection-inversion (Hörmann & Derflinger 1996). Each iteration
+  // accepts with high probability for s in (0, ~4].
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * base_;
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double pmf =
+        std::exp(-s_ * std::log(static_cast<double>(k)));  // k^-s
+    if (u >= h(static_cast<double>(k) + 0.5) - pmf) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace mutil

@@ -1,0 +1,73 @@
+#include "mutil/sizes.hpp"
+
+#include <array>
+#include <bit>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "mutil/error.hpp"
+
+namespace mutil {
+
+std::uint64_t parse_size(std::string_view text) {
+  if (text.empty()) throw ConfigError("parse_size: empty string");
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value < 0) {
+    throw ConfigError("parse_size: bad number in '" + std::string(text) + "'");
+  }
+  std::uint64_t multiplier = 1;
+  if (ptr != end) {
+    switch (std::toupper(static_cast<unsigned char>(*ptr))) {
+      case 'K': multiplier = 1ULL << 10; ++ptr; break;
+      case 'M': multiplier = 1ULL << 20; ++ptr; break;
+      case 'G': multiplier = 1ULL << 30; ++ptr; break;
+      case 'T': multiplier = 1ULL << 40; ++ptr; break;
+      case 'B': break;  // bare byte suffix handled below
+      default:
+        throw ConfigError("parse_size: bad suffix in '" + std::string(text) +
+                          "'");
+    }
+    // Optional trailing "iB"/"B".
+    std::string_view rest(ptr, static_cast<std::size_t>(end - ptr));
+    if (!(rest.empty() || rest == "B" || rest == "b" || rest == "iB" ||
+          rest == "ib")) {
+      throw ConfigError("parse_size: trailing junk in '" + std::string(text) +
+                        "'");
+    }
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(multiplier));
+}
+
+std::string format_size(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"", "K", "M", "G",
+                                                         "T"};
+  int tier = 0;
+  auto value = static_cast<double>(bytes);
+  while (value >= 1024.0 && tier < 4) {
+    value /= 1024.0;
+    ++tier;
+  }
+  char buf[32];
+  if (bytes != 0 && (bytes & (bytes - 1)) == 0) {
+    // Power of two: print exactly, paper style ("256M").
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, kSuffix[tier]);
+  } else if (value == static_cast<std::uint64_t>(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, kSuffix[tier]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, kSuffix[tier]);
+  }
+  return buf;
+}
+
+std::string format_pow2(std::uint64_t count) {
+  if (count != 0 && (count & (count - 1)) == 0) {
+    return "2^" + std::to_string(std::countr_zero(count));
+  }
+  return std::to_string(count);
+}
+
+}  // namespace mutil

@@ -1,0 +1,130 @@
+#include "mimir/combine_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mutil/hash.hpp"
+
+namespace mimir {
+
+namespace {
+constexpr std::uint64_t kInitialSlots = 1024;
+constexpr double kMaxLoad = 0.7;
+}  // namespace
+
+CombineTable::CombineTable(memtrack::Tracker& tracker,
+                           std::uint64_t page_size, KVHint hint,
+                           CombineFn combiner)
+    : tracker_(&tracker),
+      page_size_(page_size),
+      codec_(hint),
+      combiner_(std::move(combiner)) {
+  if (!combiner_) {
+    throw mutil::ConfigError("CombineTable: combiner callback required");
+  }
+  slots_ = memtrack::TrackedBuffer(*tracker_,
+                                   kInitialSlots * sizeof(Entry));
+  slot_count_ = kInitialSlots;
+  auto* entries = reinterpret_cast<Entry*>(slots_.data());
+  std::fill_n(entries, slot_count_, Entry{});
+}
+
+CombineTable::Entry* CombineTable::find_slot(std::uint64_t hash,
+                                             std::string_view key) {
+  auto* entries = reinterpret_cast<Entry*>(slots_.data());
+  std::uint64_t idx = hash & (slot_count_ - 1);
+  for (;;) {
+    Entry& slot = entries[idx];
+    if (!slot.occupied()) return &slot;
+    if (slot.hash == hash) {
+      std::size_t consumed = 0;
+      const KVView kv = codec_.decode(record_ptr(slot), &consumed);
+      if (kv.key == key) return &slot;
+    }
+    idx = (idx + 1) & (slot_count_ - 1);
+  }
+}
+
+CombineTable::Entry CombineTable::append_record(std::uint64_t hash,
+                                                std::string_view key,
+                                                std::string_view value) {
+  const std::size_t bytes = codec_.encoded_size(key, value);
+  if (arena_.empty() || arena_.back().room() < bytes) {
+    detail::Page page;
+    page.buffer = memtrack::TrackedBuffer(
+        *tracker_, std::max<std::size_t>(bytes, page_size_));
+    arena_.push_back(std::move(page));
+  }
+  detail::Page& page = arena_.back();
+  Entry entry;
+  entry.hash = hash;
+  entry.page = static_cast<std::uint32_t>(arena_.size() - 1);
+  entry.offset = static_cast<std::uint32_t>(page.used);
+  codec_.encode(page.buffer.data() + page.used, key, value);
+  page.used += bytes;
+  live_bytes_ += bytes;
+  return entry;
+}
+
+void CombineTable::grow() {
+  const std::uint64_t new_count = slot_count_ * 2;
+  memtrack::TrackedBuffer bigger(*tracker_, new_count * sizeof(Entry));
+  auto* fresh = reinterpret_cast<Entry*>(bigger.data());
+  std::fill_n(fresh, new_count, Entry{});
+  const auto* old = reinterpret_cast<const Entry*>(slots_.data());
+  for (std::uint64_t i = 0; i < slot_count_; ++i) {
+    if (!old[i].occupied()) continue;
+    std::uint64_t idx = old[i].hash & (new_count - 1);
+    while (fresh[idx].occupied()) idx = (idx + 1) & (new_count - 1);
+    fresh[idx] = old[i];
+  }
+  slots_ = std::move(bigger);
+  slot_count_ = new_count;
+}
+
+void CombineTable::upsert(std::string_view key, std::string_view value) {
+  const std::uint64_t hash = mutil::hash_bytes(key);
+  Entry* slot = find_slot(hash, key);
+  if (!slot->occupied()) {
+    if (static_cast<double>(live_entries_ + 1) >
+        kMaxLoad * static_cast<double>(slot_count_)) {
+      grow();
+      slot = find_slot(hash, key);
+    }
+    *slot = append_record(hash, key, value);
+    ++live_entries_;
+    return;
+  }
+
+  // Duplicate key: combine the stored value with the incoming one.
+  std::size_t consumed = 0;
+  const std::byte* rec = record_ptr(*slot);
+  const KVView existing = codec_.decode(rec, &consumed);
+  scratch_.clear();
+  combiner_(key, existing.value, value, scratch_);
+  ++combined_kvs_;
+
+  if (scratch_.size() == existing.value.size()) {
+    // Same size: overwrite the value bytes in place.
+    auto* dst = const_cast<std::byte*>(
+        reinterpret_cast<const std::byte*>(existing.value.data()));
+    std::memcpy(dst, scratch_.data(), scratch_.size());
+    return;
+  }
+  // Size changed: retire the old record and append a fresh one.
+  dead_bytes_ += consumed;
+  live_bytes_ -= consumed;
+  *slot = append_record(hash, key, scratch_);
+}
+
+void CombineTable::clear() {
+  arena_.clear();
+  live_bytes_ = 0;
+  dead_bytes_ = 0;
+  live_entries_ = 0;
+  combined_kvs_ = 0;
+  auto* entries = reinterpret_cast<Entry*>(slots_.data());
+  std::fill_n(entries, slot_count_, Entry{});
+}
+
+}  // namespace mimir

@@ -1,0 +1,304 @@
+#include "mimir/containers.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace mimir {
+
+// --- KVContainer ---------------------------------------------------------
+
+KVContainer::KVContainer(memtrack::Tracker& tracker, std::uint64_t page_size,
+                         KVHint hint)
+    : tracker_(&tracker), page_size_(page_size), codec_(hint) {
+  if (page_size == 0) {
+    throw mutil::ConfigError("KVContainer: page size must be positive");
+  }
+}
+
+KVContainer::~KVContainer() { drop_spill_file(); }
+
+KVContainer::KVContainer(KVContainer&& other) noexcept
+    : tracker_(other.tracker_),
+      page_size_(other.page_size_),
+      codec_(other.codec_),
+      pages_(std::move(other.pages_)),
+      num_kvs_(std::exchange(other.num_kvs_, 0)),
+      data_bytes_(std::exchange(other.data_bytes_, 0)),
+      spill_(std::exchange(other.spill_, SpillConfig{})),
+      spilled_bytes_(std::exchange(other.spilled_bytes_, 0)),
+      segments_(std::exchange(other.segments_, 0)) {}
+
+KVContainer& KVContainer::operator=(KVContainer&& other) noexcept {
+  if (this != &other) {
+    drop_spill_file();
+    tracker_ = other.tracker_;
+    page_size_ = other.page_size_;
+    codec_ = other.codec_;
+    pages_ = std::move(other.pages_);
+    num_kvs_ = std::exchange(other.num_kvs_, 0);
+    data_bytes_ = std::exchange(other.data_bytes_, 0);
+    spill_ = std::exchange(other.spill_, SpillConfig{});
+    spilled_bytes_ = std::exchange(other.spilled_bytes_, 0);
+    segments_ = std::exchange(other.segments_, 0);
+  }
+  return *this;
+}
+
+void KVContainer::enable_spill(SpillConfig spill) {
+  if (num_kvs_ != 0) {
+    throw mutil::UsageError(
+        "KVContainer: enable_spill on a non-empty container");
+  }
+  if (spill.enabled() && spill.file.empty()) {
+    throw mutil::ConfigError("KVContainer: spill needs a file name");
+  }
+  spill_ = std::move(spill);
+}
+
+std::byte* KVContainer::grab(std::size_t bytes) {
+  if (pages_.empty() || pages_.back().room() < bytes) {
+    maybe_spill();
+    detail::Page page;
+    page.buffer = memtrack::TrackedBuffer(
+        *tracker_, std::max<std::size_t>(bytes, page_size_));
+    pages_.push_back(std::move(page));
+  }
+  detail::Page& page = pages_.back();
+  std::byte* out = page.buffer.data() + page.used;
+  page.used += bytes;
+  return out;
+}
+
+void KVContainer::maybe_spill() {
+  if (!spill_.enabled()) return;
+  // Keep the freshest pages in memory; push the oldest ones out as
+  // length-prefixed, record-aligned segments.
+  while (pages_.size() > 1 &&
+         allocated_bytes() + page_size_ > spill_.max_live_bytes) {
+    detail::Page& front = pages_.front();
+    pfs::Writer writer = segments_ == 0 ? spill_.fs->create(spill_.file)
+                                        : spill_.fs->append(spill_.file);
+    const std::uint64_t len = front.used;
+    writer.write(std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(&len), sizeof(len)),
+                 *spill_.clock);
+    writer.write(front.contents(), *spill_.clock);
+    spilled_bytes_ += len;
+    ++segments_;
+    pages_.pop_front();
+  }
+}
+
+void KVContainer::stream_spilled(
+    const std::function<void(std::span<const std::byte>)>& fn) const {
+  if (segments_ == 0) return;
+  pfs::Reader reader = spill_.fs->open(spill_.file);
+  std::vector<std::byte> segment;
+  for (std::uint64_t s = 0; s < segments_; ++s) {
+    std::uint64_t len = 0;
+    std::byte header[sizeof(len)];
+    if (reader.read(header, *spill_.clock) != sizeof(len)) {
+      throw mutil::IoError("KVContainer: truncated spill file '" +
+                           spill_.file + "'");
+    }
+    std::memcpy(&len, header, sizeof(len));
+    segment.resize(len);
+    if (reader.read(segment, *spill_.clock) != len) {
+      throw mutil::IoError("KVContainer: truncated spill file '" +
+                           spill_.file + "'");
+    }
+    fn(segment);
+  }
+}
+
+void KVContainer::drop_spill_file() {
+  if (segments_ != 0 && spill_.fs != nullptr &&
+      spill_.fs->exists(spill_.file)) {
+    spill_.fs->remove(spill_.file);
+  }
+  segments_ = 0;
+  spilled_bytes_ = 0;
+}
+
+void KVContainer::append(std::string_view key, std::string_view value) {
+  const std::size_t bytes = codec_.encoded_size(key, value);
+  codec_.encode(grab(bytes), key, value);
+  ++num_kvs_;
+  data_bytes_ += bytes;
+}
+
+void KVContainer::append_encoded(std::span<const std::byte> bytes) {
+  codec_.for_each(bytes, [this](const KVView& kv) { append(kv); });
+}
+
+void KVContainer::clear() {
+  drop_spill_file();
+  pages_.clear();
+  num_kvs_ = 0;
+  data_bytes_ = 0;
+}
+
+std::uint64_t KVContainer::allocated_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& page : pages_) total += page.capacity();
+  return total;
+}
+
+// --- ValueReader -----------------------------------------------------------
+
+bool ValueReader::next(std::string_view& value) {
+  if (remaining_ == 0) return false;
+  const char* chars = reinterpret_cast<const char*>(cursor_);
+  if (value_hint_ == KVHint::kVariable) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, cursor_, 4);
+    value = std::string_view(chars + 4, len);
+    cursor_ += 4 + len;
+  } else if (value_hint_ == KVHint::kString) {
+    value = std::string_view(chars);
+    cursor_ += value.size() + 1;
+  } else {
+    value = std::string_view(chars, static_cast<std::size_t>(value_hint_));
+    cursor_ += value_hint_;
+  }
+  --remaining_;
+  return true;
+}
+
+// --- KMVContainer ----------------------------------------------------------
+
+KMVContainer::KMVContainer(memtrack::Tracker& tracker,
+                           std::uint64_t page_size, KVHint hint)
+    : tracker_(&tracker), page_size_(page_size), hint_(hint) {
+  if (page_size == 0) {
+    throw mutil::ConfigError("KMVContainer: page size must be positive");
+  }
+}
+
+std::size_t KMVContainer::record_size(std::string_view key,
+                                      std::uint32_t value_count,
+                                      std::uint64_t values_total) const {
+  std::size_t size = 8;  // value_count + values_section
+  if (hint_.key_is_variable()) size += 4;
+  size += key.size();
+  if (hint_.key_len == KVHint::kString) size += 1;
+  size += values_total;
+  if (hint_.value_is_variable()) {
+    size += 4ull * value_count;
+  } else if (hint_.value_len == KVHint::kString) {
+    size += value_count;  // one NUL per value
+  }
+  return size;
+}
+
+KMVContainer::Slot KMVContainer::reserve(std::string_view key,
+                                         std::uint32_t value_count,
+                                         std::uint64_t values_total) {
+  if (!hint_.key_is_variable() && hint_.key_len != KVHint::kString &&
+      key.size() != static_cast<std::size_t>(hint_.key_len)) {
+    throw mutil::UsageError("KMVContainer: key violates fixed-length hint");
+  }
+  const std::size_t bytes = record_size(key, value_count, values_total);
+  std::uint32_t values_section = static_cast<std::uint32_t>(values_total);
+  if (hint_.value_is_variable()) {
+    values_section += 4u * value_count;
+  } else if (hint_.value_len == KVHint::kString) {
+    values_section += value_count;
+  }
+
+  if (pages_.empty() || pages_.back().room() < bytes) {
+    detail::Page page;
+    page.buffer = memtrack::TrackedBuffer(
+        *tracker_, std::max<std::size_t>(bytes, page_size_));
+    pages_.push_back(std::move(page));
+  }
+  detail::Page& page = pages_.back();
+  Slot slot;
+  slot.page = static_cast<std::uint32_t>(pages_.size() - 1);
+  slot.record_offset = static_cast<std::uint32_t>(page.used);
+
+  std::byte* p = page.buffer.data() + page.used;
+  std::byte* cursor = p;
+  if (hint_.key_is_variable()) {
+    const auto len = static_cast<std::uint32_t>(key.size());
+    std::memcpy(cursor, &len, 4);
+    cursor += 4;
+  }
+  std::memcpy(cursor, &value_count, 4);
+  cursor += 4;
+  std::memcpy(cursor, &values_section, 4);
+  cursor += 4;
+  std::memcpy(cursor, key.data(), key.size());
+  cursor += key.size();
+  if (hint_.key_len == KVHint::kString) {
+    *cursor = std::byte{0};
+    ++cursor;
+  }
+  slot.value_cursor = static_cast<std::uint32_t>(cursor - page.buffer.data());
+
+  page.used += bytes;
+  ++num_kmvs_;
+  data_bytes_ += bytes;
+  return slot;
+}
+
+void KMVContainer::add_value(Slot& slot, std::string_view value) {
+  if (!hint_.value_is_variable() && hint_.value_len != KVHint::kString &&
+      value.size() != static_cast<std::size_t>(hint_.value_len)) {
+    throw mutil::UsageError(
+        "KMVContainer: value violates fixed-length hint");
+  }
+  std::byte* base = page_data(slot.page);
+  std::byte* cursor = base + slot.value_cursor;
+  if (hint_.value_is_variable()) {
+    const auto len = static_cast<std::uint32_t>(value.size());
+    std::memcpy(cursor, &len, 4);
+    cursor += 4;
+  }
+  std::memcpy(cursor, value.data(), value.size());
+  cursor += value.size();
+  if (hint_.value_len == KVHint::kString) {
+    *cursor = std::byte{0};
+    ++cursor;
+  }
+  slot.value_cursor = static_cast<std::uint32_t>(cursor - base);
+}
+
+std::string_view KMVContainer::key_of(const Slot& slot) const {
+  const std::byte* p = page_data(slot.page) + slot.record_offset;
+  std::uint32_t key_len = 0;
+  if (hint_.key_is_variable()) {
+    std::memcpy(&key_len, p, 4);
+    p += 4;
+  }
+  p += 8;  // value_count + values_section
+  const char* chars = reinterpret_cast<const char*>(p);
+  if (hint_.key_len == KVHint::kString) return std::string_view(chars);
+  if (hint_.key_is_variable()) return {chars, key_len};
+  return {chars, static_cast<std::size_t>(hint_.key_len)};
+}
+
+std::byte* KMVContainer::page_data(std::uint32_t page) noexcept {
+  return pages_[page].buffer.data();
+}
+const std::byte* KMVContainer::page_data(std::uint32_t page) const noexcept {
+  return pages_[page].buffer.data();
+}
+
+void KMVContainer::clear() {
+  pages_.clear();
+  num_kmvs_ = 0;
+  data_bytes_ = 0;
+}
+
+std::uint64_t KMVContainer::allocated_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& page : pages_) total += page.capacity();
+  return total;
+}
+
+}  // namespace mimir

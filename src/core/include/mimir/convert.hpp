@@ -1,0 +1,30 @@
+// Two-pass KV -> KMV conversion (paper §III-A, Figure 5).
+//
+// Pass 1 scans the aggregated KVs and gathers, per unique key, the value
+// count and total value bytes in a hash bucket; that is enough to
+// reserve every KMV record at its final position in the KMV container.
+// Pass 2 re-reads the KVs and copies each value into its reserved slot.
+// Pass 2 *consumes* the source container, so its pages are freed as the
+// KMVC fills — the transient peak is what the paper's partial-reduction
+// optimization exists to avoid.
+#pragma once
+
+#include <cstdint>
+
+#include "mimir/containers.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace mimir {
+
+struct ConvertStats {
+  std::uint64_t input_kvs = 0;
+  std::uint64_t unique_keys = 0;
+  std::uint64_t kmv_bytes = 0;
+};
+
+/// Convert `input` (consumed) into a KMV container with the same hint.
+/// Charges reduce-phase compute cost to the rank's clock.
+KMVContainer convert(simmpi::Context& ctx, KVContainer& input,
+                     std::uint64_t page_size, ConvertStats* stats = nullptr);
+
+}  // namespace mimir

@@ -1,0 +1,186 @@
+// Mimir public API: a MapReduce job over the simmpi substrate.
+//
+// Usage mirrors the paper's programming model. The user supplies a map
+// callback and a reduce callback; aggregate (shuffle) and convert are
+// implicit phases run by the library:
+//
+//   mimir::Job job(ctx, cfg);
+//   job.map_text_files(files, [](std::string_view chunk, Emitter& out) {
+//     for (word : split(chunk)) out.emit(word, one);
+//   });
+//   job.reduce([](std::string_view key, ValueReader& vals, Emitter& out) {
+//     ... out.emit(key, total);
+//   });
+//
+// Optional optimizations (paper §III-C) are selected via JobConfig and
+// the callbacks passed:
+//   * KV-hint          — cfg.hint (fixed/string key and value lengths)
+//   * KV compression   — cfg.kv_compression + a combiner on the map call
+//   * partial reduction— call partial_reduce(combiner) instead of
+//                        reduce(fn)
+//
+// Input sources (paper §III-A): text files on the parallel file system
+// (map_text_files), KVs from a previous job for multistage/iterative
+// pipelines (map_kvs), and arbitrary in-situ producers (map_custom).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mimir/combine_table.hpp"
+#include "mimir/containers.hpp"
+#include "mimir/kv.hpp"
+#include "mimir/shuffle.hpp"
+#include "mutil/config.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace mimir {
+
+/// Sink for KVs produced by map and reduce callbacks.
+class Emitter {
+ public:
+  virtual void emit(std::string_view key, std::string_view value) = 0;
+  void emit(std::string_view key, std::uint64_t value) {
+    emit(key, as_view(value));
+  }
+
+ protected:
+  ~Emitter() = default;
+};
+
+using MapRecordFn = std::function<void(std::string_view record, Emitter&)>;
+using MapKvFn = std::function<void(std::string_view key,
+                                   std::string_view value, Emitter&)>;
+using CustomMapFn = std::function<void(Emitter&)>;
+using ReduceFn =
+    std::function<void(std::string_view key, ValueReader&, Emitter&)>;
+
+/// Job-level configuration (sizes follow the repository's 1/1024 scale:
+/// the paper's 64 MB default page becomes 64 KB here).
+struct JobConfig {
+  std::uint64_t page_size = 64 << 10;    ///< KVC/KMVC page unit
+  std::uint64_t comm_buffer = 64 << 10;  ///< send buffer (recv matches)
+  KVHint hint{};                         ///< KV-hint optimization
+  /// Hint for the reduce-output container when it differs from the
+  /// intermediate data's (hints are per-container, paper §III-C3) —
+  /// e.g. fixed-size intermediate values reduced into variable-length
+  /// postings lists. Unset = same as `hint`.
+  std::optional<KVHint> output_hint{};
+  bool kv_compression = false;           ///< cps: combine before shuffle
+  /// Pipelined KV compression (extension; paper §III-C2 lists the
+  /// delayed aggregate as a shortcoming "to improve in a future
+  /// version"): when nonzero, the combiner bucket is flushed into the
+  /// shuffle whenever its live bytes reach this bound, so compression
+  /// memory stays bounded and communication overlaps the map phase.
+  /// 0 keeps the paper's behaviour (flush only after the whole input).
+  std::uint64_t cps_max_bucket = 0;
+  /// Out-of-core intermediate data (extension; added to the original
+  /// Mimir in follow-up work). When nonzero, the aggregated intermediate
+  /// container keeps at most this many live bytes per rank and spills
+  /// the rest to the parallel file system; reduce/partial_reduce stream
+  /// it back at PFS cost. 0 = in-memory only (the paper's behaviour:
+  /// exceeding the node budget throws OutOfMemoryError). Note: the
+  /// reduce() path still materializes grouped KMVs in memory; the
+  /// partial_reduce() path streams end to end.
+  std::uint64_t ooc_live_bytes = 0;
+  std::uint64_t input_chunk = 64 << 10;  ///< text-file read granularity
+  /// Alternative key-to-rank routing (paper §III-A). Empty = hash.
+  PartitionFn partitioner{};
+
+  /// Parse "mimir.*" keys from a Config (page_size, comm_buffer,
+  /// kv_compression, key_hint, value_hint, input_chunk). Hints accept
+  /// "var", "str", or a fixed byte count.
+  static JobConfig from(const mutil::Config& cfg);
+};
+
+/// Counters exposed after each phase (per rank).
+struct JobMetrics {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t map_emitted_kvs = 0;
+  std::uint64_t map_emitted_bytes = 0;   ///< encoded bytes sent to shuffle
+  std::uint64_t combined_kvs = 0;        ///< merged away by cps
+  std::uint64_t exchange_rounds = 0;
+  std::uint64_t intermediate_kvs = 0;
+  std::uint64_t intermediate_bytes = 0;
+  std::uint64_t unique_keys = 0;
+  std::uint64_t output_kvs = 0;
+  std::uint64_t output_bytes = 0;
+  double map_end_time = 0.0;     ///< rank clock when map+aggregate ended
+  double reduce_end_time = 0.0;  ///< rank clock when reduce ended
+};
+
+class Job {
+ public:
+  Job(simmpi::Context& ctx, JobConfig cfg = {});
+
+  Job(Job&&) noexcept = default;
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Reconstruct a Job in the mapped state from previously aggregated
+  /// intermediate KVs (checkpoint restart, see checkpoint.hpp).
+  static Job resumed(simmpi::Context& ctx, JobConfig cfg,
+                     KVContainer intermediate);
+
+  // --- map phase (implicit aggregate) -----------------------------------
+
+  /// Map text files stored on the parallel file system. Files are
+  /// assigned round-robin by rank; callbacks receive chunks that end on
+  /// line boundaries. Collective.
+  void map_text_files(std::span<const std::string> files,
+                      const MapRecordFn& fn,
+                      const CombineFn& combiner = {});
+
+  /// Map the KVs of a previous job (consumed). Collective.
+  void map_kvs(KVContainer input, const MapKvFn& fn,
+               const CombineFn& combiner = {});
+
+  /// Map with a user-driven producer (in-situ analytics, generators).
+  /// `fn` is called once per rank. Collective.
+  void map_custom(const CustomMapFn& fn, const CombineFn& combiner = {});
+
+  // --- reduce phase ------------------------------------------------------
+
+  /// Convert aggregated KVs to KMVs and run the reduce callback.
+  /// Returns the number of output KVs on this rank.
+  std::uint64_t reduce(const ReduceFn& fn);
+
+  /// Partial reduction (paper §III-C1): combine duplicates directly in a
+  /// hash bucket, never materializing KMVs. The combined KVs become the
+  /// job output. Requires a commutative/associative combiner.
+  std::uint64_t partial_reduce(const CombineFn& combiner);
+
+  // --- results -----------------------------------------------------------
+
+  /// Aggregated intermediate KVs on this rank (valid after map, before
+  /// reduce). For map-only jobs this is the result.
+  KVContainer& intermediate() { return intermediate_; }
+  KVContainer take_intermediate() { return std::move(intermediate_); }
+
+  KVContainer& output() { return output_; }
+  KVContainer take_output() { return std::move(output_); }
+
+  const JobMetrics& metrics() const noexcept { return metrics_; }
+  simmpi::Context& context() noexcept { return ctx_; }
+  const JobConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void run_map(const std::function<void(Emitter&)>& producer,
+               const CombineFn& combiner);
+
+  simmpi::Context& ctx_;
+  JobConfig cfg_;
+  KVContainer intermediate_;
+  KVContainer output_;
+  JobMetrics metrics_;
+
+  enum class Phase { kCreated, kMapped, kReduced };
+  Phase phase_ = Phase::kCreated;
+};
+
+}  // namespace mimir

@@ -1,0 +1,19 @@
+// Umbrella header for the Mimir core library.
+//
+// Mimir is a memory-efficient MapReduce implementation over an MPI-style
+// substrate, reproducing Gao et al., "Mimir: Memory-Efficient and
+// Scalable MapReduce for Large Supercomputing Systems" (IPDPS 2017).
+//
+// Typical entry point is mimir::Job (see job.hpp). Lower layers are
+// exposed for advanced use and benchmarking: containers.hpp (KVC/KMVC),
+// shuffle.hpp (interleaved map+aggregate), convert.hpp (two-pass
+// KV->KMV), combine_table.hpp (pr/cps combiner bucket).
+#pragma once
+
+#include "mimir/checkpoint.hpp"     // IWYU pragma: export
+#include "mimir/combine_table.hpp"  // IWYU pragma: export
+#include "mimir/containers.hpp"     // IWYU pragma: export
+#include "mimir/convert.hpp"        // IWYU pragma: export
+#include "mimir/job.hpp"            // IWYU pragma: export
+#include "mimir/kv.hpp"             // IWYU pragma: export
+#include "mimir/shuffle.hpp"        // IWYU pragma: export

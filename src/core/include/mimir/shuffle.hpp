@@ -1,0 +1,86 @@
+// Interleaved map+aggregate engine (paper §III-A/B, Figure 4).
+//
+// Each rank owns one send buffer statically divided into p equal
+// partitions (one per destination rank) and one receive buffer of the
+// same total size. The user map callback emits KVs straight into the
+// send partition chosen by hashing the key — there is no staging copy
+// and no temporary partitioning buffers (MR-MPI needs seven pages here;
+// Mimir needs these two buffers plus the destination KVC).
+//
+// When a partition fills, the rank enters an exchange round: all ranks
+// meet in MPI_Alltoallv, received KVs are moved into the destination
+// KVContainer, and the suspended map resumes. Ranks that exhaust their
+// input keep participating in rounds (with empty partitions) until an
+// allreduce agrees that nobody has data left — that is how the implicit
+// aggregate phase avoids a global map barrier while staying collective.
+//
+// Because every sender can hold at most partition_capacity bytes for any
+// destination, the total received per round can never exceed the send
+// buffer size: the receive buffer never needs to be larger than the send
+// buffer, even under extreme key skew (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "memtrack/tracker.hpp"
+#include "mimir/containers.hpp"
+#include "mimir/kv.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace mimir {
+
+/// Maps a key to its destination rank. The paper (§III-A): "Users can
+/// provide alternative hash functions that suit their needs, but the
+/// workflow stays the same." Must be pure and identical on all ranks.
+using PartitionFn = std::function<int(std::string_view key, int nranks)>;
+
+class Shuffle {
+ public:
+  /// `dest` receives this rank's share of the shuffled KVs. `comm_buffer`
+  /// is the total send-buffer size (the receive buffer matches it).
+  /// `partitioner` overrides the default key-hash routing when set.
+  Shuffle(simmpi::Context& ctx, std::uint64_t comm_buffer, KVHint hint,
+          KVContainer& dest, PartitionFn partitioner = {});
+
+  Shuffle(const Shuffle&) = delete;
+  Shuffle& operator=(const Shuffle&) = delete;
+
+  /// Emit one KV toward hash(key) % p. May trigger a collective
+  /// exchange round; every rank of the job must be inside the shuffle
+  /// protocol (mapping or finalizing) when that happens.
+  void emit(std::string_view key, std::string_view value);
+
+  /// Flush remaining data and keep participating in exchange rounds
+  /// until every rank is done. Must be called exactly once per rank.
+  void finalize();
+
+  std::uint64_t kvs_emitted() const noexcept { return kvs_emitted_; }
+  std::uint64_t bytes_emitted() const noexcept { return bytes_emitted_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  std::uint64_t partition_capacity() const noexcept { return part_cap_; }
+
+ private:
+  /// One collective round; returns true while any rank still has data.
+  bool exchange_round(bool this_rank_done);
+
+  simmpi::Context& ctx_;
+  KVCodec codec_;
+  KVContainer& dest_;
+  PartitionFn partitioner_;
+
+  memtrack::TrackedBuffer send_;
+  memtrack::TrackedBuffer recv_;
+  std::uint64_t part_cap_;
+  std::vector<std::uint64_t> part_used_;
+  std::vector<std::uint64_t> part_displs_;
+
+  std::uint64_t kvs_emitted_ = 0;
+  std::uint64_t bytes_emitted_ = 0;
+  std::uint64_t rounds_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mimir

@@ -1,0 +1,120 @@
+// Typed convenience layer over the byte-oriented core API.
+//
+// Keys and values in Mimir are byte sequences; most scientific
+// applications move fixed-width PODs (vertex ids, counts, coordinates).
+// This header removes the reinterpret-cast boilerplate and picks the
+// right KV-hint automatically:
+//
+//   using Pair = mimir::Typed<std::uint64_t, double>;
+//   mimir::JobConfig cfg;
+//   cfg.hint = Pair::hint();                // fixed 8/8
+//   job.map_custom([&](mimir::Emitter& out) {
+//     Pair::emit(out, vertex, rank_share);
+//   });
+//   job.reduce([](std::string_view key, mimir::ValueReader& vals,
+//                 mimir::Emitter& out) {
+//     double total = 0;
+//     for (const double share : Pair::values(vals)) total += share;
+//     Pair::emit(out, Pair::key(key), total);
+//   });
+#pragma once
+
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+#include "mimir/containers.hpp"
+#include "mimir/job.hpp"
+#include "mimir/kv.hpp"
+
+namespace mimir {
+
+template <typename T>
+concept FixedPod = std::is_trivially_copyable_v<T> &&
+                   !std::is_pointer_v<T>;
+
+/// View the bytes of a POD (valid while `v` lives).
+template <FixedPod T>
+std::string_view view_of(const T& v) {
+  return {reinterpret_cast<const char*>(&v), sizeof(T)};
+}
+
+/// Reconstruct a POD from a value/key view.
+template <FixedPod T>
+T from_view(std::string_view bytes) {
+  T out{};
+  std::memcpy(&out, bytes.data(), sizeof(T));
+  return out;
+}
+
+/// Iterate a ValueReader as typed values (single pass, range-for).
+template <FixedPod V>
+class TypedValueRange {
+ public:
+  explicit TypedValueRange(ValueReader& reader) : reader_(&reader) {}
+
+  class iterator {
+   public:
+    iterator() = default;
+    explicit iterator(ValueReader* reader) : reader_(reader) { advance(); }
+
+    V operator*() const { return current_; }
+    iterator& operator++() {
+      advance();
+      return *this;
+    }
+    bool operator!=(const iterator& other) const {
+      return reader_ != other.reader_;
+    }
+
+   private:
+    void advance() {
+      std::string_view v;
+      if (reader_ != nullptr && reader_->next(v)) {
+        current_ = from_view<V>(v);
+      } else {
+        reader_ = nullptr;  // end
+      }
+    }
+
+    ValueReader* reader_ = nullptr;
+    V current_{};
+  };
+
+  iterator begin() const { return iterator(reader_); }
+  iterator end() const { return iterator(); }
+
+ private:
+  ValueReader* reader_;
+};
+
+/// Bundle of typed helpers for one (Key, Value) pair shape.
+template <FixedPod K, FixedPod V>
+struct Typed {
+  /// The natural KV-hint: both lengths are compile-time constants.
+  static constexpr KVHint hint() {
+    return KVHint{static_cast<std::int32_t>(sizeof(K)),
+                  static_cast<std::int32_t>(sizeof(V))};
+  }
+
+  static void emit(Emitter& out, const K& key, const V& value) {
+    out.emit(view_of(key), view_of(value));
+  }
+
+  static K key(std::string_view bytes) { return from_view<K>(bytes); }
+  static V value(std::string_view bytes) { return from_view<V>(bytes); }
+
+  static TypedValueRange<V> values(ValueReader& reader) {
+    return TypedValueRange<V>(reader);
+  }
+
+  /// Visit a container as typed pairs: fn(K, V).
+  template <typename Fn>
+  static void scan(const KVContainer& kvc, Fn&& fn) {
+    kvc.scan([&](const KVView& kv) {
+      fn(from_view<K>(kv.key), from_view<V>(kv.value));
+    });
+  }
+};
+
+}  // namespace mimir

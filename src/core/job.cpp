@@ -1,0 +1,292 @@
+#include "mimir/job.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mimir/convert.hpp"
+#include "mimir/shuffle.hpp"
+#include "mutil/error.hpp"
+
+namespace mimir {
+
+namespace {
+
+std::int32_t parse_hint(const mutil::Config& cfg, std::string_view key,
+                        std::int32_t fallback) {
+  if (!cfg.contains(key)) return fallback;
+  const std::string text = cfg.get_string(key, "");
+  if (text == "var" || text == "variable") return KVHint::kVariable;
+  if (text == "str" || text == "string") return KVHint::kString;
+  const auto n = cfg.get_int(key, 0);
+  if (n < 0) {
+    throw mutil::ConfigError("bad KV hint '" + text + "'");
+  }
+  return static_cast<std::int32_t>(n);
+}
+
+/// Routes map emissions into the shuffle's send partitions.
+class ShuffleEmitter final : public Emitter {
+ public:
+  explicit ShuffleEmitter(Shuffle& shuffle) : shuffle_(shuffle) {}
+  void emit(std::string_view key, std::string_view value) override {
+    shuffle_.emit(key, value);
+  }
+
+ private:
+  Shuffle& shuffle_;
+};
+
+/// Routes map emissions into the KV-compression bucket (paper §III-C2):
+/// the aggregate phase is delayed until the whole input is combined —
+/// unless a bucket bound is set (pipelined-cps extension), in which case
+/// the bucket is drained into the shuffle whenever it reaches the bound.
+class BucketEmitter final : public Emitter {
+ public:
+  BucketEmitter(CombineTable& bucket, Shuffle& shuffle,
+                std::uint64_t max_bucket, simmpi::Context& ctx)
+      : bucket_(bucket), shuffle_(shuffle), max_bucket_(max_bucket),
+        ctx_(ctx) {}
+
+  void emit(std::string_view key, std::string_view value) override {
+    bucket_.upsert(key, value);
+    ctx_.clock().advance(
+        static_cast<double>(key.size() + value.size() + 8) /
+        ctx_.machine.kv_rate);
+    if (max_bucket_ != 0 &&
+        bucket_.live_bytes() + bucket_.dead_bytes() >= max_bucket_) {
+      flush();
+    }
+  }
+
+  /// Drain the bucket into the shuffle. Cross-flush duplicates are
+  /// re-combined by the reduce side, so correctness is unaffected.
+  void flush() {
+    combined_ += bucket_.combined_kvs();
+    bucket_.for_each(
+        [&](const KVView& kv) { shuffle_.emit(kv.key, kv.value); });
+    bucket_.clear();
+  }
+
+  /// KVs merged away across all flushes.
+  std::uint64_t combined() const noexcept { return combined_; }
+
+ private:
+  CombineTable& bucket_;
+  Shuffle& shuffle_;
+  std::uint64_t max_bucket_;
+  simmpi::Context& ctx_;
+  std::uint64_t combined_ = 0;
+};
+
+/// Routes reduce emissions into the local output container.
+class OutputEmitter final : public Emitter {
+ public:
+  OutputEmitter(KVContainer& out, simmpi::Context& ctx)
+      : out_(out), ctx_(ctx) {}
+  void emit(std::string_view key, std::string_view value) override {
+    out_.append(key, value);
+    ctx_.clock().advance(
+        static_cast<double>(key.size() + value.size() + 8) /
+        ctx_.machine.kv_rate);
+  }
+
+ private:
+  KVContainer& out_;
+  simmpi::Context& ctx_;
+};
+
+}  // namespace
+
+JobConfig JobConfig::from(const mutil::Config& cfg) {
+  JobConfig out;
+  out.page_size = cfg.get_size("mimir.page_size", out.page_size);
+  out.comm_buffer = cfg.get_size("mimir.comm_buffer", out.comm_buffer);
+  out.kv_compression =
+      cfg.get_bool("mimir.kv_compression", out.kv_compression);
+  out.cps_max_bucket =
+      cfg.get_size("mimir.cps_max_bucket", out.cps_max_bucket);
+  out.ooc_live_bytes =
+      cfg.get_size("mimir.ooc_live_bytes", out.ooc_live_bytes);
+  out.input_chunk = cfg.get_size("mimir.input_chunk", out.input_chunk);
+  out.hint.key_len = parse_hint(cfg, "mimir.key_hint", out.hint.key_len);
+  out.hint.value_len =
+      parse_hint(cfg, "mimir.value_hint", out.hint.value_len);
+  if (cfg.contains("mimir.output_key_hint") ||
+      cfg.contains("mimir.output_value_hint")) {
+    KVHint oh = out.hint;
+    oh.key_len = parse_hint(cfg, "mimir.output_key_hint", oh.key_len);
+    oh.value_len = parse_hint(cfg, "mimir.output_value_hint", oh.value_len);
+    out.output_hint = oh;
+  }
+  return out;
+}
+
+Job::Job(simmpi::Context& ctx, JobConfig cfg)
+    : ctx_(ctx),
+      cfg_(cfg),
+      intermediate_(ctx.tracker, cfg.page_size, cfg.hint),
+      output_(ctx.tracker, cfg.page_size,
+              cfg.output_hint.value_or(cfg.hint)) {
+  if (cfg.ooc_live_bytes != 0) {
+    // Unique per rank and per Job object; removed when the container
+    // is consumed, cleared, or destroyed.
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "%p", static_cast<void*>(this));
+    intermediate_.enable_spill(
+        {&ctx.fs, &ctx.clock(),
+         "mimir/ooc/r" + std::to_string(ctx.rank()) + "." + tag,
+         cfg.ooc_live_bytes});
+  }
+}
+
+Job Job::resumed(simmpi::Context& ctx, JobConfig cfg,
+                 KVContainer intermediate) {
+  Job job(ctx, cfg);
+  job.intermediate_ = std::move(intermediate);
+  job.metrics_.intermediate_kvs = job.intermediate_.num_kvs();
+  job.metrics_.intermediate_bytes = job.intermediate_.data_bytes();
+  job.metrics_.map_end_time = ctx.clock().now();
+  job.phase_ = Phase::kMapped;
+  return job;
+}
+
+void Job::run_map(const std::function<void(Emitter&)>& producer,
+                  const CombineFn& combiner) {
+  if (phase_ != Phase::kCreated) {
+    throw mutil::UsageError("mimir::Job: map phase already ran");
+  }
+  if (cfg_.kv_compression && !combiner) {
+    throw mutil::UsageError(
+        "mimir::Job: kv_compression requires a combiner callback");
+  }
+
+  Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, intermediate_,
+                  cfg_.partitioner);
+  if (cfg_.kv_compression) {
+    // cps: combine locally first, then shuffle the survivors (either at
+    // the end of the input, or incrementally under cps_max_bucket).
+    CombineTable bucket(ctx_.tracker, cfg_.page_size, cfg_.hint, combiner);
+    BucketEmitter emitter(bucket, shuffle, cfg_.cps_max_bucket, ctx_);
+    producer(emitter);
+    emitter.flush();
+    metrics_.combined_kvs = emitter.combined();
+  } else {
+    ShuffleEmitter emitter(shuffle);
+    producer(emitter);
+  }
+  shuffle.finalize();
+
+  metrics_.map_emitted_kvs = shuffle.kvs_emitted();
+  metrics_.map_emitted_bytes = shuffle.bytes_emitted();
+  metrics_.exchange_rounds = shuffle.rounds();
+  metrics_.intermediate_kvs = intermediate_.num_kvs();
+  metrics_.intermediate_bytes = intermediate_.data_bytes();
+  metrics_.map_end_time = ctx_.clock().now();
+  phase_ = Phase::kMapped;
+}
+
+void Job::map_text_files(std::span<const std::string> files,
+                         const MapRecordFn& fn, const CombineFn& combiner) {
+  run_map(
+      [&](Emitter& emitter) {
+        std::string carry;
+        std::vector<std::byte> chunk(cfg_.input_chunk);
+        for (std::size_t i = static_cast<std::size_t>(ctx_.rank());
+             i < files.size();
+             i += static_cast<std::size_t>(ctx_.size())) {
+          pfs::Reader reader = ctx_.fs.open(files[i]);
+          carry.clear();
+          for (;;) {
+            const std::size_t n = reader.read(chunk, ctx_.clock());
+            if (n == 0) break;
+            carry.append(reinterpret_cast<const char*>(chunk.data()), n);
+            // Hand over whole lines; keep the partial tail for the next
+            // chunk so words never split across callbacks.
+            const std::size_t cut = carry.rfind('\n');
+            if (cut == std::string::npos) continue;
+            const std::string_view record(carry.data(), cut + 1);
+            metrics_.input_bytes += record.size();
+            ctx_.clock().advance(static_cast<double>(record.size()) /
+                                 ctx_.machine.map_rate);
+            fn(record, emitter);
+            carry.erase(0, cut + 1);
+          }
+          if (!carry.empty()) {
+            metrics_.input_bytes += carry.size();
+            ctx_.clock().advance(static_cast<double>(carry.size()) /
+                                 ctx_.machine.map_rate);
+            fn(carry, emitter);
+            carry.clear();
+          }
+        }
+      },
+      combiner);
+}
+
+void Job::map_kvs(KVContainer input, const MapKvFn& fn,
+                  const CombineFn& combiner) {
+  run_map(
+      [&](Emitter& emitter) {
+        const double rate = ctx_.machine.map_rate;
+        input.consume([&](const KVView& kv) {
+          metrics_.input_bytes += kv.key.size() + kv.value.size();
+          ctx_.clock().advance(
+              static_cast<double>(kv.key.size() + kv.value.size()) / rate);
+          fn(kv.key, kv.value, emitter);
+        });
+      },
+      combiner);
+}
+
+void Job::map_custom(const CustomMapFn& fn, const CombineFn& combiner) {
+  run_map([&](Emitter& emitter) { fn(emitter); }, combiner);
+}
+
+std::uint64_t Job::reduce(const ReduceFn& fn) {
+  if (phase_ != Phase::kMapped) {
+    throw mutil::UsageError("mimir::Job: reduce requires a completed map");
+  }
+  ConvertStats stats;
+  KMVContainer kmvc = convert(ctx_, intermediate_, cfg_.page_size, &stats);
+  metrics_.unique_keys = stats.unique_keys;
+
+  OutputEmitter emitter(output_, ctx_);
+  const double rate = ctx_.machine.reduce_rate;
+  const std::uint64_t kmv_bytes = kmvc.data_bytes();
+  kmvc.consume([&](std::string_view key, ValueReader& values) {
+    fn(key, values, emitter);
+  });
+  ctx_.clock().advance(static_cast<double>(kmv_bytes) / rate);
+
+  metrics_.output_kvs = output_.num_kvs();
+  metrics_.output_bytes = output_.data_bytes();
+  metrics_.reduce_end_time = ctx_.clock().now();
+  phase_ = Phase::kReduced;
+  return metrics_.output_kvs;
+}
+
+std::uint64_t Job::partial_reduce(const CombineFn& combiner) {
+  if (phase_ != Phase::kMapped) {
+    throw mutil::UsageError(
+        "mimir::Job: partial_reduce requires a completed map");
+  }
+  CombineTable bucket(ctx_.tracker, cfg_.page_size, cfg_.hint, combiner);
+  const double rate = ctx_.machine.reduce_rate;
+  intermediate_.consume([&](const KVView& kv) {
+    ctx_.clock().advance(
+        static_cast<double>(kv.key.size() + kv.value.size()) / rate);
+    bucket.upsert(kv.key, kv.value);
+  });
+  metrics_.unique_keys = bucket.size();
+
+  bucket.for_each([&](const KVView& kv) { output_.append(kv); });
+  ctx_.clock().advance(static_cast<double>(output_.data_bytes()) / rate);
+
+  metrics_.output_kvs = output_.num_kvs();
+  metrics_.output_bytes = output_.data_bytes();
+  metrics_.reduce_end_time = ctx_.clock().now();
+  phase_ = Phase::kReduced;
+  return metrics_.output_kvs;
+}
+
+}  // namespace mimir

@@ -1,0 +1,97 @@
+#include "mimir/shuffle.hpp"
+
+#include <numeric>
+
+#include "mutil/hash.hpp"
+
+namespace mimir {
+
+Shuffle::Shuffle(simmpi::Context& ctx, std::uint64_t comm_buffer,
+                 KVHint hint, KVContainer& dest, PartitionFn partitioner)
+    : ctx_(ctx),
+      codec_(hint),
+      dest_(dest),
+      partitioner_(std::move(partitioner)),
+      send_(ctx.tracker, comm_buffer),
+      recv_(ctx.tracker, comm_buffer),
+      part_cap_(comm_buffer / static_cast<std::uint64_t>(ctx.size())),
+      part_used_(static_cast<std::size_t>(ctx.size()), 0),
+      part_displs_(static_cast<std::size_t>(ctx.size()), 0) {
+  if (part_cap_ == 0) {
+    throw mutil::ConfigError(
+        "Shuffle: communication buffer smaller than one byte per rank");
+  }
+  for (std::size_t i = 0; i < part_displs_.size(); ++i) {
+    part_displs_[i] = static_cast<std::uint64_t>(i) * part_cap_;
+  }
+}
+
+void Shuffle::emit(std::string_view key, std::string_view value) {
+  if (finalized_) {
+    throw mutil::UsageError("Shuffle: emit after finalize");
+  }
+  const std::size_t bytes = codec_.encoded_size(key, value);
+  if (bytes > part_cap_) {
+    throw mutil::UsageError(
+        "Shuffle: a single KV (" + std::to_string(bytes) +
+        " bytes) exceeds the send partition capacity (" +
+        std::to_string(part_cap_) + " bytes); increase the comm buffer");
+  }
+  const auto dest_rank = static_cast<std::size_t>(
+      partitioner_
+          ? partitioner_(key, ctx_.size())
+          : static_cast<int>(mutil::hash_bytes(key) %
+                             static_cast<std::uint64_t>(ctx_.size())));
+  if (dest_rank >= static_cast<std::size_t>(ctx_.size())) {
+    throw mutil::UsageError(
+        "Shuffle: partitioner returned an out-of-range rank");
+  }
+  if (part_used_[dest_rank] + bytes > part_cap_) {
+    // Suspend the map and run the implicit aggregate phase.
+    (void)exchange_round(false);
+  }
+  codec_.encode(send_.data() + part_displs_[dest_rank] +
+                    part_used_[dest_rank],
+                key, value);
+  part_used_[dest_rank] += bytes;
+  ++kvs_emitted_;
+  bytes_emitted_ += bytes;
+  // Framework handling cost of the emitted KV (hash + encode).
+  ctx_.clock().advance(static_cast<double>(bytes) / ctx_.machine.kv_rate);
+}
+
+bool Shuffle::exchange_round(bool this_rank_done) {
+  ++rounds_;
+  const auto recv_counts = ctx_.comm.alltoall_u64(part_used_);
+
+  std::vector<std::uint64_t> recv_displs(recv_counts.size(), 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < recv_counts.size(); ++i) {
+    recv_displs[i] = total;
+    total += recv_counts[i];
+  }
+  // Receive volume is bounded by the send-buffer size by construction.
+  ctx_.comm.alltoallv(send_.span(), part_used_, part_displs_,
+                      recv_.span(), recv_counts, recv_displs);
+
+  // Move received KVs into the destination container; pages grow (and
+  // are charged) as needed.
+  dest_.append_encoded(recv_.span().subspan(0, total));
+  ctx_.clock().advance(static_cast<double>(total) / ctx_.machine.kv_rate);
+
+  std::fill(part_used_.begin(), part_used_.end(), 0);
+  return ctx_.comm.allreduce_lor(!this_rank_done);
+}
+
+void Shuffle::finalize() {
+  if (finalized_) {
+    throw mutil::UsageError("Shuffle: finalize called twice");
+  }
+  finalized_ = true;
+  // First round flushes our leftover data; afterwards we participate
+  // with empty partitions until every rank reports done.
+  while (exchange_round(true)) {
+  }
+}
+
+}  // namespace mimir

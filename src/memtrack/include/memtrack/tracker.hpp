@@ -1,0 +1,127 @@
+// Memory accounting substrate.
+//
+// The paper's primary metric is peak memory usage per node, and its
+// feasibility boundaries ("MR-MPI runs out of memory beyond 4 GB") come
+// from a hard node memory budget. This module reproduces both as pure
+// accounting:
+//
+//   * NodeBudget   — shared by all ranks placed on one simulated node;
+//                    tracks current/peak usage atomically and enforces an
+//                    optional hard limit by throwing OutOfMemoryError.
+//   * Tracker      — per-rank view; all framework allocations (pages,
+//                    containers, hash buckets, communication buffers) are
+//                    charged here and forwarded to the node budget.
+//   * TrackedBuffer— RAII byte buffer charged against a Tracker.
+//
+// Spill files living on the simulated parallel file system are *not*
+// charged: on the paper's machines those bytes live on Lustre/GPFS, not
+// in node DRAM.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace memtrack {
+
+/// Node-wide memory budget shared by every rank of a simulated node.
+/// Thread-safe; ranks are threads.
+class NodeBudget {
+ public:
+  /// limit_bytes == 0 means unlimited (tracking only).
+  explicit NodeBudget(std::uint64_t limit_bytes = 0) noexcept
+      : limit_(limit_bytes) {}
+
+  NodeBudget(const NodeBudget&) = delete;
+  NodeBudget& operator=(const NodeBudget&) = delete;
+
+  /// Charge `bytes`; throws mutil::OutOfMemoryError if the node limit
+  /// would be exceeded (the charge is rolled back first).
+  void charge(std::uint64_t bytes);
+
+  /// Return `bytes` to the budget.
+  void release(std::uint64_t bytes) noexcept;
+
+  std::uint64_t current() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t limit() const noexcept { return limit_; }
+
+  /// Reset the high-water mark to the current usage (between bench runs).
+  void reset_peak() noexcept {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t limit_;
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Per-rank accounting view over a NodeBudget. Not thread-safe by design:
+/// each rank owns exactly one Tracker.
+class Tracker {
+ public:
+  /// `node` may be nullptr for standalone (single-rank, unlimited) use.
+  explicit Tracker(NodeBudget* node = nullptr) noexcept : node_(node) {}
+
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+
+  /// Charge this rank (and its node). Throws mutil::OutOfMemoryError.
+  void allocate(std::uint64_t bytes);
+
+  /// Release a previous charge.
+  void release(std::uint64_t bytes) noexcept;
+
+  std::uint64_t current() const noexcept { return current_; }
+  std::uint64_t peak() const noexcept { return peak_; }
+  void reset_peak() noexcept { peak_ = current_; }
+
+  NodeBudget* node() const noexcept { return node_; }
+
+ private:
+  NodeBudget* node_;
+  std::uint64_t current_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// RAII byte buffer charged against a Tracker for its whole lifetime.
+/// Movable, not copyable. The backing storage is heap-allocated once.
+class TrackedBuffer {
+ public:
+  TrackedBuffer() noexcept = default;
+  TrackedBuffer(Tracker& tracker, std::size_t bytes);
+  ~TrackedBuffer();
+
+  TrackedBuffer(TrackedBuffer&& other) noexcept;
+  TrackedBuffer& operator=(TrackedBuffer&& other) noexcept;
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+
+  std::span<std::byte> span() noexcept { return {data_.get(), size_}; }
+  std::span<const std::byte> span() const noexcept {
+    return {data_.get(), size_};
+  }
+  std::byte* data() noexcept { return data_.get(); }
+  const std::byte* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Drop the buffer and return its bytes to the tracker immediately.
+  void reset() noexcept;
+
+ private:
+  Tracker* tracker_ = nullptr;
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace memtrack

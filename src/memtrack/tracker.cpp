@@ -1,0 +1,80 @@
+#include "memtrack/tracker.hpp"
+
+#include <utility>
+
+#include "mutil/error.hpp"
+#include "mutil/sizes.hpp"
+
+namespace memtrack {
+
+void NodeBudget::charge(std::uint64_t bytes) {
+  const std::uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && now > limit_) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw mutil::OutOfMemoryError(
+        "node memory limit exceeded: requested " + mutil::format_size(bytes) +
+            " with " + mutil::format_size(now - bytes) + " in use, limit " +
+            mutil::format_size(limit_),
+        bytes, limit_);
+  }
+  // Lock-free high-water-mark update.
+  std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void NodeBudget::release(std::uint64_t bytes) noexcept {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void Tracker::allocate(std::uint64_t bytes) {
+  if (node_ != nullptr) node_->charge(bytes);  // may throw; rank unchanged
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void Tracker::release(std::uint64_t bytes) noexcept {
+  current_ -= bytes;
+  if (node_ != nullptr) node_->release(bytes);
+}
+
+TrackedBuffer::TrackedBuffer(Tracker& tracker, std::size_t bytes)
+    : tracker_(&tracker), size_(bytes) {
+  tracker.allocate(bytes);  // throws before the allocation happens
+  try {
+    data_ = std::make_unique<std::byte[]>(bytes);
+  } catch (...) {
+    tracker.release(bytes);
+    throw;
+  }
+}
+
+TrackedBuffer::~TrackedBuffer() { reset(); }
+
+TrackedBuffer::TrackedBuffer(TrackedBuffer&& other) noexcept
+    : tracker_(std::exchange(other.tracker_, nullptr)),
+      data_(std::move(other.data_)),
+      size_(std::exchange(other.size_, 0)) {}
+
+TrackedBuffer& TrackedBuffer::operator=(TrackedBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    tracker_ = std::exchange(other.tracker_, nullptr);
+    data_ = std::move(other.data_);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void TrackedBuffer::reset() noexcept {
+  if (tracker_ != nullptr && size_ != 0) {
+    tracker_->release(size_);
+  }
+  data_.reset();
+  tracker_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace memtrack

@@ -1,0 +1,128 @@
+// Baseline: a faithful re-implementation of MR-MPI's execution model
+// (Plimpton & Devine, "MapReduce in MPI for Large-Scale Graph
+// Algorithms"), as characterized by the Mimir paper (§II-B).
+//
+// Key behavioural properties reproduced:
+//   * fixed-size pages, all allocated at the *start* of each phase and
+//     held for its duration — map/aggregate/convert/reduce use a minimum
+//     of 1/7/4/3 pages respectively;
+//   * explicit phases: the user calls aggregate() and convert() between
+//     map() and reduce(), each ending in a global barrier;
+//   * the aggregate phase stages KVs through two temporary partitioning
+//     buffers and a separate send buffer (the redundant copies Mimir
+//     eliminates), and sizes its receive buffer at two pages to absorb
+//     partitioning skew;
+//   * any dataset larger than its single page spills to the parallel
+//     file system, governed by the three out-of-core settings;
+//   * compress() implements MR-MPI's local pre-aggregation (the KV
+//     compression the paper compares against): it reduces shuffle volume
+//     but cannot reduce memory usage, because page allocation is fixed.
+//
+// Callback types are shared with the Mimir core library so that every
+// application in this repository runs unmodified on both frameworks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mimir/combine_table.hpp"
+#include "mimir/job.hpp"
+#include "mimir/kv.hpp"
+#include "mrmpi/paged_data.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace mrmpi {
+
+struct MRConfig {
+  std::uint64_t page_size = 64 << 10;  ///< paper default 64 MB, scaled
+  OocMode out_of_core = OocMode::kSpill;
+  std::uint64_t input_chunk = 64 << 10;  ///< text-file read granularity
+  /// Alternative key-to-rank routing for aggregate(). Empty = hash
+  /// (MR-MPI's aggregate likewise accepts a user hash function).
+  mimir::PartitionFn partitioner{};
+
+  /// Parse "mrmpi.*" keys (page_size, out_of_core = always|spill|error).
+  static MRConfig from(const mutil::Config& cfg);
+};
+
+struct MRMetrics {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t map_emitted_kvs = 0;
+  std::uint64_t shuffled_bytes = 0;
+  std::uint64_t exchange_rounds = 0;
+  std::uint64_t unique_keys = 0;
+  std::uint64_t output_kvs = 0;
+  std::uint64_t combined_kvs = 0;  ///< merged by compress()
+  bool spilled = false;            ///< any store went out of core
+};
+
+class MapReduce {
+ public:
+  MapReduce(simmpi::Context& ctx, MRConfig cfg = {});
+
+  MapReduce(const MapReduce&) = delete;
+  MapReduce& operator=(const MapReduce&) = delete;
+
+  // --- phases (each is collective and must be called by every rank) ----
+
+  /// Map text files from the parallel file system into local KVs.
+  std::uint64_t map_text_files(std::span<const std::string> files,
+                               const mimir::MapRecordFn& fn);
+
+  /// Map with a user producer called once per rank.
+  std::uint64_t map_custom(const mimir::CustomMapFn& fn);
+
+  /// Map over the current KV store (iterative jobs): the callback sees
+  /// every KV and its emissions replace the store's contents.
+  std::uint64_t map_kv(const mimir::MapKvFn& fn);
+
+  /// MR-MPI compress(): combine duplicate keys locally, before
+  /// aggregate. Reduces shuffle volume only — memory is fixed pages.
+  std::uint64_t compress(const mimir::CombineFn& combiner);
+
+  /// Explicit all-to-all exchange of KVs by key hash (7 pages).
+  std::uint64_t aggregate();
+
+  /// Explicit KV -> KMV conversion (4 pages).
+  std::uint64_t convert();
+
+  /// Reduce the KMVs with the user callback (3 pages); emissions become
+  /// the new KV store (so output can feed another map/aggregate cycle).
+  std::uint64_t reduce(const mimir::ReduceFn& fn);
+
+  // --- results ----------------------------------------------------------
+
+  /// Stream the current KV store (after map/aggregate/reduce).
+  void scan_kv(const std::function<void(const mimir::KVView&)>& fn) const;
+
+  const MRMetrics& metrics() const noexcept { return metrics_; }
+  simmpi::Context& context() noexcept { return ctx_; }
+  const MRConfig& config() const noexcept { return cfg_; }
+
+ private:
+  std::uint64_t run_map(const std::function<void(mimir::Emitter&)>& producer);
+  std::string store_name(const char* phase) const;
+
+  /// Group duplicate keys of `input` through a page-budgeted hash table,
+  /// recursively partitioning to bucket files when the table exceeds its
+  /// two-page budget. `emit_group` receives (key, concatenated values).
+  void group_by_key(
+      PagedData& input, int depth,
+      const std::function<void(std::string_view key,
+                               const std::vector<std::string>& values)>&
+          emit_group);
+
+  simmpi::Context& ctx_;
+  MRConfig cfg_;
+  mimir::KVCodec codec_;  ///< MR-MPI has no KV-hint: always variable
+  std::optional<PagedData> kv_;   ///< current KV dataset
+  std::optional<PagedData> kmv_;  ///< current KMV dataset (after convert)
+  MRMetrics metrics_;
+  std::uint64_t generation_ = 0;  ///< distinguishes spill file names
+};
+
+}  // namespace mrmpi

@@ -1,0 +1,92 @@
+// MR-MPI's fixed-page data store with out-of-core spillover.
+//
+// MR-MPI (Plimpton & Devine) holds each dataset (KVs or KMVs) in exactly
+// one statically allocated page; when the data outgrows the page it
+// spills to the I/O subsystem — on a supercomputer, the globally shared
+// parallel file system. This class reproduces that behaviour:
+//
+//   * exactly one page of DRAM, allocated up front and charged to the
+//     rank's memory tracker for the store's lifetime;
+//   * three out-of-core settings, matching the paper's description:
+//     kAlways (always write to disk), kSpill (write only when data
+//     exceeds one page — MR-MPI's default), kError (refuse to go
+//     out of core);
+//   * spilled bytes are framed as length-prefixed segments of whole
+//     records, so streaming re-reads never split a record.
+//
+// The repeated full re-reads that MR-MPI's phases perform against
+// spilled stores (and the shared-bandwidth PFS cost model underneath)
+// are exactly what produces the paper's Figure 1 performance cliff.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "memtrack/tracker.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace mrmpi {
+
+/// Out-of-core policy (paper §II-B's three settings).
+enum class OocMode {
+  kAlways,  ///< (1) always write intermediate data to disk
+  kSpill,   ///< (2) write to disk only when data exceeds one page
+  kError,   ///< (3) report an error if data exceeds one page
+};
+
+class PagedData {
+ public:
+  /// Allocates the page immediately (MR-MPI allocates every phase's
+  /// pages up front). `name` keys the spill file on the PFS.
+  PagedData(simmpi::Context& ctx, std::string name, std::uint64_t page_size,
+            OocMode mode);
+  ~PagedData();
+
+  PagedData(PagedData&&) noexcept = default;
+  PagedData& operator=(PagedData&&) noexcept = default;
+  PagedData(const PagedData&) = delete;
+  PagedData& operator=(const PagedData&) = delete;
+
+  /// Append one whole record. A record larger than the page itself is a
+  /// hard error in every mode (MR-MPI cannot represent it).
+  void append(std::span<const std::byte> record);
+
+  /// Finish writing. In kAlways mode the in-memory tail is flushed so
+  /// the entire dataset lives on disk.
+  void freeze();
+
+  /// Stream the data back in record-aligned segments (spilled segments
+  /// first, then the in-memory tail). May be called repeatedly; each
+  /// call re-reads any spilled bytes from the PFS at full cost.
+  void stream(
+      const std::function<void(std::span<const std::byte>)>& fn) const;
+
+  /// Drop everything: release the page and delete the spill file.
+  void clear();
+
+  std::uint64_t data_bytes() const noexcept { return data_bytes_; }
+  std::uint64_t num_records() const noexcept { return num_records_; }
+  bool spilled() const noexcept { return spilled_bytes_ != 0; }
+  std::uint64_t spilled_bytes() const noexcept { return spilled_bytes_; }
+  std::uint64_t page_size() const noexcept { return page_size_; }
+  bool empty() const noexcept { return num_records_ == 0; }
+
+ private:
+  void spill_page();
+
+  simmpi::Context* ctx_;
+  std::string name_;
+  std::uint64_t page_size_;
+  OocMode mode_;
+  memtrack::TrackedBuffer page_;
+  std::uint64_t used_ = 0;
+  std::uint64_t data_bytes_ = 0;
+  std::uint64_t num_records_ = 0;
+  std::uint64_t spilled_bytes_ = 0;
+  std::uint64_t segments_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace mrmpi

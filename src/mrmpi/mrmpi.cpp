@@ -1,0 +1,492 @@
+#include "mrmpi/mrmpi.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mutil/hash.hpp"
+
+namespace mrmpi {
+
+using mimir::KVView;
+
+namespace {
+
+/// Emitter that encodes KVs into a scratch buffer and appends whole
+/// records to a PagedData store.
+class StoreEmitter final : public mimir::Emitter {
+ public:
+  StoreEmitter(PagedData& store, const mimir::KVCodec& codec,
+               simmpi::Context& ctx)
+      : store_(store), codec_(codec), ctx_(ctx) {}
+
+  void emit(std::string_view key, std::string_view value) override {
+    const std::size_t bytes = codec_.encoded_size(key, value);
+    scratch_.resize(bytes);
+    codec_.encode(scratch_.data(), key, value);
+    store_.append(scratch_);
+    ctx_.clock().advance(static_cast<double>(bytes) / ctx_.machine.kv_rate);
+    ++emitted_;
+  }
+
+  std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  PagedData& store_;
+  const mimir::KVCodec& codec_;
+  simmpi::Context& ctx_;
+  std::vector<std::byte> scratch_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace
+
+MRConfig MRConfig::from(const mutil::Config& cfg) {
+  MRConfig out;
+  out.page_size = cfg.get_size("mrmpi.page_size", out.page_size);
+  out.input_chunk = cfg.get_size("mrmpi.input_chunk", out.input_chunk);
+  const std::string mode = cfg.get_string("mrmpi.out_of_core", "spill");
+  if (mode == "always") {
+    out.out_of_core = OocMode::kAlways;
+  } else if (mode == "spill") {
+    out.out_of_core = OocMode::kSpill;
+  } else if (mode == "error") {
+    out.out_of_core = OocMode::kError;
+  } else {
+    throw mutil::ConfigError("mrmpi.out_of_core: unknown mode '" + mode +
+                             "'");
+  }
+  return out;
+}
+
+MapReduce::MapReduce(simmpi::Context& ctx, MRConfig cfg)
+    : ctx_(ctx), cfg_(cfg), codec_(mimir::KVHint::variable()) {}
+
+std::string MapReduce::store_name(const char* phase) const {
+  return "mrmpi/r" + std::to_string(ctx_.rank()) + "/g" +
+         std::to_string(generation_) + "." + phase;
+}
+
+std::uint64_t MapReduce::run_map(
+    const std::function<void(mimir::Emitter&)>& producer) {
+  ++generation_;
+  PagedData out(ctx_, store_name("map"), cfg_.page_size, cfg_.out_of_core);
+  StoreEmitter emitter(out, codec_, ctx_);
+  producer(emitter);
+  out.freeze();
+  metrics_.map_emitted_kvs += emitter.emitted();
+  metrics_.spilled = metrics_.spilled || out.spilled();
+  kv_.emplace(std::move(out));
+  ctx_.comm.barrier();  // MR-MPI: global barrier ends every phase
+  return emitter.emitted();
+}
+
+std::uint64_t MapReduce::map_text_files(std::span<const std::string> files,
+                                        const mimir::MapRecordFn& fn) {
+  return run_map([&](mimir::Emitter& emitter) {
+    std::string carry;
+    std::vector<std::byte> chunk(cfg_.input_chunk);
+    for (std::size_t i = static_cast<std::size_t>(ctx_.rank());
+         i < files.size(); i += static_cast<std::size_t>(ctx_.size())) {
+      pfs::Reader reader = ctx_.fs.open(files[i]);
+      carry.clear();
+      for (;;) {
+        const std::size_t n = reader.read(chunk, ctx_.clock());
+        if (n == 0) break;
+        carry.append(reinterpret_cast<const char*>(chunk.data()), n);
+        const std::size_t cut = carry.rfind('\n');
+        if (cut == std::string::npos) continue;
+        const std::string_view record(carry.data(), cut + 1);
+        metrics_.input_bytes += record.size();
+        ctx_.clock().advance(static_cast<double>(record.size()) /
+                             ctx_.machine.map_rate);
+        fn(record, emitter);
+        carry.erase(0, cut + 1);
+      }
+      if (!carry.empty()) {
+        metrics_.input_bytes += carry.size();
+        ctx_.clock().advance(static_cast<double>(carry.size()) /
+                             ctx_.machine.map_rate);
+        fn(carry, emitter);
+        carry.clear();
+      }
+    }
+  });
+}
+
+std::uint64_t MapReduce::map_custom(const mimir::CustomMapFn& fn) {
+  return run_map([&](mimir::Emitter& emitter) { fn(emitter); });
+}
+
+std::uint64_t MapReduce::map_kv(const mimir::MapKvFn& fn) {
+  if (!kv_.has_value()) {
+    throw mutil::UsageError("mrmpi: map_kv with no KV data");
+  }
+  PagedData input = std::move(*kv_);
+  kv_.reset();
+  const double rate = ctx_.machine.map_rate;
+  const std::uint64_t emitted =
+      run_map([&](mimir::Emitter& emitter) {
+        input.stream([&](std::span<const std::byte> segment) {
+          codec_.for_each(segment, [&](const KVView& kv) {
+            metrics_.input_bytes += kv.key.size() + kv.value.size();
+            ctx_.clock().advance(
+                static_cast<double>(kv.key.size() + kv.value.size()) /
+                rate);
+            fn(kv.key, kv.value, emitter);
+          });
+        });
+      });
+  input.clear();
+  return emitted;
+}
+
+std::uint64_t MapReduce::aggregate() {
+  if (!kv_.has_value()) {
+    throw mutil::UsageError("mrmpi: aggregate with no KV data");
+  }
+  ++generation_;
+  const auto p = static_cast<std::uint64_t>(ctx_.size());
+  const std::uint64_t page = cfg_.page_size;
+
+  // Phase buffers, all allocated up front (with the input store's page
+  // and the output store's page this phase holds seven pages).
+  memtrack::TrackedBuffer send_buf(ctx_.tracker, page);       // 1 page
+  memtrack::TrackedBuffer recv_buf(ctx_.tracker, 2 * page);   // 2 pages
+  memtrack::TrackedBuffer temp_buf(ctx_.tracker, 2 * page);   // 2 pages
+  PagedData out(ctx_, store_name("agg"), page, cfg_.out_of_core);
+
+  // Per-destination cap keeps any single receiver within its two-page
+  // receive buffer even under total key skew.
+  const std::uint64_t dest_cap = std::max<std::uint64_t>(2 * page / p, 1);
+
+  struct Staged {
+    std::uint32_t dest;
+    std::uint32_t offset;
+    std::uint32_t length;
+  };
+  std::vector<Staged> staged;
+  std::vector<std::uint64_t> dest_bytes(p, 0);
+  std::uint64_t temp_used = 0;
+
+  std::vector<std::uint64_t> send_counts(p), send_displs(p);
+  std::vector<std::uint64_t> recv_displs(p);
+
+  const double kv_rate = ctx_.machine.kv_rate;
+  std::uint64_t rounds = 0;
+
+  auto flush_round = [&](bool done) -> bool {
+    ++rounds;
+    // Copy staged records into the send buffer grouped by destination —
+    // the extra copy Mimir's shared buffers eliminate.
+    std::fill(send_counts.begin(), send_counts.end(), 0);
+    for (const Staged& s : staged) send_counts[s.dest] += s.length;
+    std::uint64_t offset = 0;
+    for (std::uint64_t d = 0; d < p; ++d) {
+      send_displs[d] = offset;
+      offset += send_counts[d];
+    }
+    std::vector<std::uint64_t> cursor = send_displs;
+    for (const Staged& s : staged) {
+      std::memcpy(send_buf.data() + cursor[s.dest],
+                  temp_buf.data() + s.offset, s.length);
+      cursor[s.dest] += s.length;
+      ctx_.clock().advance(static_cast<double>(s.length) / kv_rate);
+    }
+
+    const auto recv_counts = ctx_.comm.alltoall_u64(send_counts);
+    std::uint64_t total_in = 0;
+    for (std::uint64_t d = 0; d < p; ++d) {
+      recv_displs[d] = total_in;
+      total_in += recv_counts[d];
+    }
+    ctx_.comm.alltoallv(send_buf.span(), send_counts, send_displs,
+                        recv_buf.span(), recv_counts, recv_displs);
+    metrics_.shuffled_bytes += offset;
+
+    // Copy received KVs into the aggregate output store (page + spill).
+    codec_.for_each(recv_buf.span().subspan(0, total_in),
+                    [&](const KVView& kv) {
+                      const std::size_t bytes =
+                          codec_.encoded_size(kv.key, kv.value);
+                      std::vector<std::byte> rec(bytes);
+                      codec_.encode(rec.data(), kv.key, kv.value);
+                      out.append(rec);
+                      ctx_.clock().advance(static_cast<double>(bytes) /
+                                           kv_rate);
+                    });
+
+    staged.clear();
+    std::fill(dest_bytes.begin(), dest_bytes.end(), 0);
+    temp_used = 0;
+    return ctx_.comm.allreduce_lor(!done);
+  };
+
+  // Stream the input store (re-reading any spilled bytes from the PFS),
+  // staging each KV through the temporary partitioning buffers.
+  kv_->stream([&](std::span<const std::byte> segment) {
+    std::size_t pos = 0;
+    while (pos < segment.size()) {
+      std::size_t consumed = 0;
+      const KVView kv = codec_.decode(segment.data() + pos, &consumed);
+      const auto dest = static_cast<std::uint32_t>(
+          cfg_.partitioner
+              ? cfg_.partitioner(kv.key, ctx_.size())
+              : static_cast<int>(mutil::hash_bytes(kv.key) % p));
+      if (dest >= p) {
+        throw mutil::UsageError(
+            "mrmpi: partitioner returned an out-of-range rank");
+      }
+      if (dest_bytes[dest] + consumed > dest_cap ||
+          temp_used + consumed > page) {
+        (void)flush_round(false);
+      }
+      std::memcpy(temp_buf.data() + temp_used, segment.data() + pos,
+                  consumed);
+      staged.push_back({dest, static_cast<std::uint32_t>(temp_used),
+                        static_cast<std::uint32_t>(consumed)});
+      dest_bytes[dest] += consumed;
+      temp_used += consumed;
+      ctx_.clock().advance(static_cast<double>(consumed) / kv_rate);
+      pos += consumed;
+    }
+  });
+
+  // Flush the tail, then keep participating until every rank is done.
+  while (flush_round(true)) {
+  }
+
+  out.freeze();
+  metrics_.exchange_rounds += rounds;
+  metrics_.spilled =
+      metrics_.spilled || out.spilled() || kv_->spilled();
+  kv_->clear();
+  kv_.emplace(std::move(out));
+  ctx_.comm.barrier();
+  return kv_->num_records();
+}
+
+void MapReduce::group_by_key(
+    PagedData& input, int depth,
+    const std::function<void(std::string_view,
+                             const std::vector<std::string>&)>& emit_group) {
+  constexpr int kMaxDepth = 4;
+  const std::uint64_t budget = 2 * cfg_.page_size;  // the two hash pages
+
+  if (input.data_bytes() <= budget || depth >= kMaxDepth) {
+    if (input.data_bytes() > budget && depth >= kMaxDepth) {
+      throw mutil::UsageError(
+          "mrmpi: convert cannot partition data to fit in memory");
+    }
+    // Load the (bucket) data into tracked memory and group by sorting.
+    memtrack::TrackedBuffer loaded(ctx_.tracker,
+                                   std::max<std::uint64_t>(
+                                       input.data_bytes(), 1));
+    std::uint64_t used = 0;
+    input.stream([&](std::span<const std::byte> segment) {
+      std::memcpy(loaded.data() + used, segment.data(), segment.size());
+      used += segment.size();
+    });
+    std::vector<KVView> views;
+    views.reserve(static_cast<std::size_t>(input.num_records()));
+    codec_.for_each(loaded.span().subspan(0, used),
+                    [&](const KVView& kv) { views.push_back(kv); });
+    std::stable_sort(views.begin(), views.end(),
+                     [](const KVView& a, const KVView& b) {
+                       return a.key < b.key;
+                     });
+    ctx_.clock().advance(static_cast<double>(used) /
+                         ctx_.machine.reduce_rate);
+
+    std::vector<std::string> values;
+    std::size_t i = 0;
+    while (i < views.size()) {
+      std::size_t j = i;
+      values.clear();
+      while (j < views.size() && views[j].key == views[i].key) {
+        values.emplace_back(views[j].value);
+        ++j;
+      }
+      emit_group(views[i].key, values);
+      i = j;
+    }
+    return;
+  }
+
+  // Out of core: hash-partition into bucket files on the PFS and recurse.
+  if (cfg_.out_of_core == OocMode::kError) {
+    throw mutil::UsageError(
+        "mrmpi: convert data exceeds in-memory budget and the out-of-core "
+        "setting forbids spilling");
+  }
+  // Over-partition by 2x so hash skew rarely leaves a bucket above the
+  // budget (a still-oversized bucket recurses).
+  const std::uint64_t nbuckets = std::max<std::uint64_t>(
+      4, 2 * ((input.data_bytes() + budget - 1) / budget));
+  // Bucket stores live on disk (kAlways); give them small pages so the
+  // partitioning pass stays within a couple of pages of memory no
+  // matter how many buckets the data needs.
+  const std::uint64_t bucket_page =
+      std::max<std::uint64_t>(4096, cfg_.page_size / 8);
+  std::vector<PagedData> buckets;
+  buckets.reserve(nbuckets);
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    buckets.emplace_back(ctx_,
+                         store_name("cvt") + ".d" + std::to_string(depth) +
+                             ".b" + std::to_string(b),
+                         bucket_page, OocMode::kAlways);
+  }
+  std::vector<std::byte> scratch;
+  input.stream([&](std::span<const std::byte> segment) {
+    std::size_t pos = 0;
+    while (pos < segment.size()) {
+      std::size_t consumed = 0;
+      const KVView kv = codec_.decode(segment.data() + pos, &consumed);
+      // Second-level hash (mixed) so bucketing is independent of the
+      // rank partitioning.
+      const std::uint64_t h = mutil::mix64(mutil::hash_bytes(kv.key));
+      buckets[h % nbuckets].append(segment.subspan(pos, consumed));
+      pos += consumed;
+    }
+  });
+  metrics_.spilled = true;
+  for (auto& bucket : buckets) {
+    bucket.freeze();
+    group_by_key(bucket, depth + 1, emit_group);
+    bucket.clear();
+  }
+}
+
+std::uint64_t MapReduce::convert() {
+  if (!kv_.has_value()) {
+    throw mutil::UsageError("mrmpi: convert with no KV data");
+  }
+  ++generation_;
+  PagedData out(ctx_, store_name("kmv"), cfg_.page_size, cfg_.out_of_core);
+  std::uint64_t unique = 0;
+  std::vector<std::byte> record;
+
+  group_by_key(*kv_, 0, [&](std::string_view key,
+                            const std::vector<std::string>& values) {
+    // KMV record layout (matches mimir::KMVContainer, variable hint):
+    // [key_len u32][count u32][section u32][key][(len u32, bytes)...]
+    std::uint64_t section = 0;
+    for (const auto& v : values) section += 4 + v.size();
+    const std::size_t bytes = 4 + 4 + 4 + key.size() + section;
+    record.resize(bytes);
+    std::byte* cursor = record.data();
+    const auto klen = static_cast<std::uint32_t>(key.size());
+    const auto count = static_cast<std::uint32_t>(values.size());
+    const auto sect = static_cast<std::uint32_t>(section);
+    std::memcpy(cursor, &klen, 4);
+    cursor += 4;
+    std::memcpy(cursor, &count, 4);
+    cursor += 4;
+    std::memcpy(cursor, &sect, 4);
+    cursor += 4;
+    std::memcpy(cursor, key.data(), key.size());
+    cursor += key.size();
+    for (const auto& v : values) {
+      const auto len = static_cast<std::uint32_t>(v.size());
+      std::memcpy(cursor, &len, 4);
+      cursor += 4;
+      std::memcpy(cursor, v.data(), v.size());
+      cursor += v.size();
+    }
+    out.append(record);
+    ctx_.clock().advance(static_cast<double>(bytes) /
+                         ctx_.machine.reduce_rate);
+    ++unique;
+  });
+
+  out.freeze();
+  metrics_.unique_keys += unique;
+  metrics_.spilled = metrics_.spilled || out.spilled();
+  kv_->clear();
+  kv_.reset();
+  kmv_.emplace(std::move(out));
+  ctx_.comm.barrier();
+  return unique;
+}
+
+std::uint64_t MapReduce::compress(const mimir::CombineFn& combiner) {
+  if (!kv_.has_value()) {
+    throw mutil::UsageError("mrmpi: compress with no KV data");
+  }
+  if (!combiner) {
+    throw mutil::UsageError("mrmpi: compress requires a combiner");
+  }
+  ++generation_;
+  PagedData out(ctx_, store_name("cps"), cfg_.page_size, cfg_.out_of_core);
+  StoreEmitter emitter(out, codec_, ctx_);
+  std::uint64_t before = kv_->num_records();
+  std::string acc, scratch;
+
+  group_by_key(*kv_, 0, [&](std::string_view key,
+                            const std::vector<std::string>& values) {
+    acc = values.front();
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      scratch.clear();
+      combiner(key, acc, values[i], scratch);
+      acc = scratch;
+    }
+    emitter.emit(key, acc);
+  });
+
+  out.freeze();
+  metrics_.combined_kvs += before - out.num_records();
+  metrics_.spilled = metrics_.spilled || out.spilled();
+  kv_->clear();
+  kv_.emplace(std::move(out));
+  ctx_.comm.barrier();
+  return kv_->num_records();
+}
+
+std::uint64_t MapReduce::reduce(const mimir::ReduceFn& fn) {
+  if (!kmv_.has_value()) {
+    throw mutil::UsageError("mrmpi: reduce with no KMV data (call convert)");
+  }
+  ++generation_;
+  PagedData out(ctx_, store_name("red"), cfg_.page_size, cfg_.out_of_core);
+  StoreEmitter emitter(out, codec_, ctx_);
+  const double rate = ctx_.machine.reduce_rate;
+
+  kmv_->stream([&](std::span<const std::byte> segment) {
+    std::size_t pos = 0;
+    while (pos < segment.size()) {
+      const std::byte* p = segment.data() + pos;
+      std::uint32_t klen = 0, count = 0, section = 0;
+      std::memcpy(&klen, p, 4);
+      std::memcpy(&count, p + 4, 4);
+      std::memcpy(&section, p + 8, 4);
+      const std::string_view key(
+          reinterpret_cast<const char*>(p + 12), klen);
+      mimir::ValueReader values(p + 12 + klen, count,
+                                mimir::KVHint::kVariable);
+      fn(key, values, emitter);
+      const std::size_t bytes = 12 + klen + section;
+      ctx_.clock().advance(static_cast<double>(bytes) / rate);
+      pos += bytes;
+    }
+  });
+
+  out.freeze();
+  metrics_.output_kvs += out.num_records();
+  metrics_.spilled = metrics_.spilled || out.spilled();
+  kmv_->clear();
+  kmv_.reset();
+  kv_.emplace(std::move(out));
+  ctx_.comm.barrier();
+  return kv_->num_records();
+}
+
+void MapReduce::scan_kv(
+    const std::function<void(const KVView&)>& fn) const {
+  if (!kv_.has_value()) return;
+  kv_->stream([&](std::span<const std::byte> segment) {
+    codec_.for_each(segment, fn);
+  });
+}
+
+}  // namespace mrmpi

@@ -1,0 +1,112 @@
+#include "mrmpi/paged_data.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace mrmpi {
+
+PagedData::PagedData(simmpi::Context& ctx, std::string name,
+                     std::uint64_t page_size, OocMode mode)
+    : ctx_(&ctx),
+      name_(std::move(name)),
+      page_size_(page_size),
+      mode_(mode),
+      page_(ctx.tracker, page_size) {
+  if (page_size == 0) {
+    throw mutil::ConfigError("mrmpi::PagedData: page size must be positive");
+  }
+}
+
+PagedData::~PagedData() {
+  if (ctx_ != nullptr && segments_ != 0 && ctx_->fs.exists(name_)) {
+    ctx_->fs.remove(name_);
+  }
+}
+
+void PagedData::spill_page() {
+  if (used_ == 0) return;
+  if (mode_ == OocMode::kError) {
+    throw mutil::UsageError(
+        "mrmpi: intermediate data exceeds a single page (" +
+        std::to_string(page_size_) +
+        " bytes) and the out-of-core setting forbids spilling");
+  }
+  pfs::Writer writer = segments_ == 0 ? ctx_->fs.create(name_)
+                                      : ctx_->fs.append(name_);
+  const std::uint64_t len = used_;
+  writer.write(std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(&len), sizeof(len)),
+               ctx_->clock());
+  writer.write(page_.span().subspan(0, used_), ctx_->clock());
+  spilled_bytes_ += used_;
+  ++segments_;
+  used_ = 0;
+}
+
+void PagedData::append(std::span<const std::byte> record) {
+  if (frozen_) {
+    throw mutil::UsageError("mrmpi::PagedData: append after freeze");
+  }
+  if (record.size() > page_size_) {
+    throw mutil::UsageError(
+        "mrmpi: a single record (" + std::to_string(record.size()) +
+        " bytes) exceeds the page size (" + std::to_string(page_size_) +
+        " bytes)");
+  }
+  if (used_ + record.size() > page_size_) {
+    spill_page();
+  }
+  std::memcpy(page_.data() + used_, record.data(), record.size());
+  used_ += record.size();
+  data_bytes_ += record.size();
+  ++num_records_;
+}
+
+void PagedData::freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  if (mode_ == OocMode::kAlways && used_ != 0) {
+    spill_page();
+  }
+}
+
+void PagedData::stream(
+    const std::function<void(std::span<const std::byte>)>& fn) const {
+  if (segments_ != 0) {
+    pfs::Reader reader = ctx_->fs.open(name_);
+    std::vector<std::byte> segment;
+    for (std::uint64_t s = 0; s < segments_; ++s) {
+      std::uint64_t len = 0;
+      std::byte header[sizeof(len)];
+      if (reader.read(header, ctx_->clock()) != sizeof(len)) {
+        throw mutil::IoError("mrmpi: truncated spill file '" + name_ + "'");
+      }
+      std::memcpy(&len, header, sizeof(len));
+      segment.resize(len);
+      if (reader.read(segment, ctx_->clock()) != len) {
+        throw mutil::IoError("mrmpi: truncated spill file '" + name_ + "'");
+      }
+      fn(segment);
+    }
+  }
+  if (used_ != 0) {
+    fn(page_.span().subspan(0, used_));
+  }
+}
+
+void PagedData::clear() {
+  if (segments_ != 0 && ctx_->fs.exists(name_)) {
+    ctx_->fs.remove(name_);
+  }
+  segments_ = 0;
+  spilled_bytes_ = 0;
+  used_ = 0;
+  data_bytes_ = 0;
+  num_records_ = 0;
+  frozen_ = false;
+  page_.reset();
+}
+
+}  // namespace mrmpi

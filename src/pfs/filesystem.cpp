@@ -1,0 +1,195 @@
+#include "pfs/filesystem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mutil/error.hpp"
+
+namespace pfs {
+
+FileSystem::FileSystem(const simtime::MachineProfile& profile,
+                       int num_clients)
+    : latency_(profile.pfs_latency),
+      bandwidth_(profile.pfs_bandwidth),
+      client_bandwidth_(profile.pfs_client_bandwidth > 0
+                            ? profile.pfs_client_bandwidth
+                            : profile.pfs_bandwidth),
+      num_clients_(std::max(1, num_clients)) {
+  if (bandwidth_ <= 0.0) {
+    throw mutil::ConfigError("pfs: bandwidth must be positive");
+  }
+}
+
+double FileSystem::cost(std::uint64_t bytes) const noexcept {
+  // Per-client link ceiling, or the job's share of the backend when the
+  // job is wide enough to contend for it.
+  const double share =
+      std::min(client_bandwidth_, bandwidth_ / num_clients_);
+  return latency_ + static_cast<double>(bytes) / share;
+}
+
+Writer FileSystem::create(const std::string& name) {
+  auto file = std::make_shared<detail::FileData>();
+  {
+    const std::scoped_lock lock(mutex_);
+    files_[name] = file;
+  }
+  return Writer(this, std::move(file));
+}
+
+Writer FileSystem::append(const std::string& name) {
+  std::shared_ptr<detail::FileData> file;
+  {
+    const std::scoped_lock lock(mutex_);
+    auto& slot = files_[name];
+    if (!slot) slot = std::make_shared<detail::FileData>();
+    file = slot;
+  }
+  return Writer(this, std::move(file));
+}
+
+Reader FileSystem::open(const std::string& name) {
+  std::shared_ptr<detail::FileData> file;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = files_.find(name);
+    if (it == files_.end()) {
+      throw mutil::IoError("pfs: no such file '" + name + "'");
+    }
+    file = it->second;
+  }
+  return Reader(this, std::move(file));
+}
+
+bool FileSystem::exists(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  return files_.find(name) != files_.end();
+}
+
+std::uint64_t FileSystem::file_size(const std::string& name) const {
+  std::shared_ptr<detail::FileData> file;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = files_.find(name);
+    if (it == files_.end()) {
+      throw mutil::IoError("pfs: no such file '" + name + "'");
+    }
+    file = it->second;
+  }
+  const std::scoped_lock file_lock(file->mutex);
+  return file->bytes.size();
+}
+
+void FileSystem::remove(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  files_.erase(name);
+}
+
+std::vector<std::string> FileSystem::list(std::string_view prefix) const {
+  std::vector<std::string> names;
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, file] : files_) {
+    if (name.size() >= prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      names.push_back(name);
+    }
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+void FileSystem::write_file(const std::string& name,
+                            std::span<const std::byte> data,
+                            simtime::Clock& clock) {
+  Writer writer = create(name);
+  writer.write(data, clock);
+}
+
+void FileSystem::write_file(const std::string& name, std::string_view text,
+                            simtime::Clock& clock) {
+  write_file(name,
+             std::span<const std::byte>(
+                 reinterpret_cast<const std::byte*>(text.data()),
+                 text.size()),
+             clock);
+}
+
+std::vector<std::byte> FileSystem::read_file(const std::string& name,
+                                             simtime::Clock& clock) {
+  Reader reader = open(name);
+  return reader.read_all(clock);
+}
+
+IoStats FileSystem::stats() const {
+  IoStats s;
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.read_ops = read_ops_.load(std::memory_order_relaxed);
+  s.write_ops = write_ops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FileSystem::record_read(std::uint64_t bytes) noexcept {
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FileSystem::record_write(std::uint64_t bytes) noexcept {
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Writer::write(std::span<const std::byte> data, simtime::Clock& clock) {
+  if (!valid()) throw mutil::IoError("pfs: write on invalid Writer");
+  {
+    const std::scoped_lock lock(file_->mutex);
+    file_->bytes.insert(file_->bytes.end(), data.begin(), data.end());
+  }
+  written_ += data.size();
+  fs_->record_write(data.size());
+  clock.advance(fs_->cost(data.size()));
+}
+
+void Writer::write(std::string_view text, simtime::Clock& clock) {
+  write(std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(text.data()), text.size()),
+        clock);
+}
+
+std::size_t Reader::read(std::span<std::byte> out, simtime::Clock& clock) {
+  if (!valid()) throw mutil::IoError("pfs: read on invalid Reader");
+  std::size_t n = 0;
+  {
+    const std::scoped_lock lock(file_->mutex);
+    if (offset_ < file_->bytes.size()) {
+      n = std::min<std::size_t>(out.size(), file_->bytes.size() - offset_);
+      std::memcpy(out.data(), file_->bytes.data() + offset_, n);
+    }
+  }
+  offset_ += n;
+  fs_->record_read(n);
+  clock.advance(fs_->cost(n));
+  return n;
+}
+
+std::vector<std::byte> Reader::read_all(simtime::Clock& clock) {
+  std::vector<std::byte> out;
+  {
+    const std::scoped_lock lock(file_->mutex);
+    if (offset_ < file_->bytes.size()) {
+      out.assign(file_->bytes.begin() + static_cast<std::ptrdiff_t>(offset_),
+                 file_->bytes.end());
+    }
+  }
+  offset_ += out.size();
+  fs_->record_read(out.size());
+  clock.advance(fs_->cost(out.size()));
+  return out;
+}
+
+std::uint64_t Reader::size() const {
+  if (!valid()) throw mutil::IoError("pfs: size on invalid Reader");
+  const std::scoped_lock lock(file_->mutex);
+  return file_->bytes.size();
+}
+
+}  // namespace pfs

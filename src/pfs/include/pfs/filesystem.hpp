@@ -1,0 +1,161 @@
+// Simulated global parallel file system (Lustre/GPFS stand-in).
+//
+// Supercomputer nodes have no local disk; both job input and any
+// out-of-core spill go to one globally shared file system whose
+// bandwidth is divided among all clients. That sharing is what makes
+// MR-MPI's spillover catastrophic in the paper, so the cost model
+// charges the calling rank's simulated clock:
+//
+//     cost(bytes) = pfs_latency
+//                 + bytes / min(pfs_client_bandwidth,
+//                               pfs_bandwidth / num_clients)
+//
+// i.e. a fixed RPC latency per operation plus the byte time at the
+// rank's share of the file system: narrow jobs are limited by each
+// client's own link, very wide jobs contend for the backend. File contents are
+// kept byte-exact in memory (they are data, not accounting), and are
+// deliberately NOT charged to memtrack — they model disk, not DRAM.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simtime/clock.hpp"
+#include "simtime/machine.hpp"
+
+namespace pfs {
+
+/// Aggregate I/O counters for a FileSystem.
+struct IoStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+};
+
+namespace detail {
+struct FileData {
+  mutable std::mutex mutex;
+  std::vector<std::byte> bytes;
+};
+}  // namespace detail
+
+class FileSystem;
+
+/// Sequential append-only writer. Each write charges the caller's clock.
+class Writer {
+ public:
+  Writer() = default;
+
+  void write(std::span<const std::byte> data, simtime::Clock& clock);
+  void write(std::string_view text, simtime::Clock& clock);
+  std::uint64_t bytes_written() const noexcept { return written_; }
+  bool valid() const noexcept { return file_ != nullptr; }
+
+ private:
+  friend class FileSystem;
+  Writer(FileSystem* fs, std::shared_ptr<detail::FileData> file)
+      : fs_(fs), file_(std::move(file)) {}
+
+  FileSystem* fs_ = nullptr;
+  std::shared_ptr<detail::FileData> file_;
+  std::uint64_t written_ = 0;
+};
+
+/// Sequential reader with random seek. Each read charges the caller's
+/// clock.
+class Reader {
+ public:
+  Reader() = default;
+
+  /// Read up to out.size() bytes; returns the number actually read
+  /// (0 at end of file).
+  std::size_t read(std::span<std::byte> out, simtime::Clock& clock);
+
+  /// Read the entire remaining contents.
+  std::vector<std::byte> read_all(simtime::Clock& clock);
+
+  std::uint64_t size() const;
+  std::uint64_t tell() const noexcept { return offset_; }
+  void seek(std::uint64_t offset) noexcept { offset_ = offset; }
+  bool valid() const noexcept { return file_ != nullptr; }
+
+ private:
+  friend class FileSystem;
+  Reader(FileSystem* fs, std::shared_ptr<detail::FileData> file)
+      : fs_(fs), file_(std::move(file)) {}
+
+  FileSystem* fs_ = nullptr;
+  std::shared_ptr<detail::FileData> file_;
+  std::uint64_t offset_ = 0;
+};
+
+/// The shared file system. Thread-safe: ranks are threads.
+class FileSystem {
+ public:
+  /// `num_clients` is the number of ranks sharing the aggregate
+  /// bandwidth (>= 1).
+  FileSystem(const simtime::MachineProfile& profile, int num_clients);
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  /// Create (or truncate) a file and return an append writer.
+  Writer create(const std::string& name);
+
+  /// Open an existing file for appending, creating it if absent.
+  Writer append(const std::string& name);
+
+  /// Open an existing file for reading; throws mutil::IoError if absent.
+  Reader open(const std::string& name);
+
+  bool exists(const std::string& name) const;
+  std::uint64_t file_size(const std::string& name) const;
+  void remove(const std::string& name);
+  /// Names of all files whose name starts with `prefix`, sorted.
+  std::vector<std::string> list(std::string_view prefix = "") const;
+
+  /// Convenience: whole-file write/read.
+  void write_file(const std::string& name, std::span<const std::byte> data,
+                  simtime::Clock& clock);
+  void write_file(const std::string& name, std::string_view text,
+                  simtime::Clock& clock);
+  std::vector<std::byte> read_file(const std::string& name,
+                                   simtime::Clock& clock);
+
+  IoStats stats() const;
+  /// Seconds charged for an operation moving `bytes`.
+  double cost(std::uint64_t bytes) const noexcept;
+
+  int num_clients() const noexcept { return num_clients_; }
+
+ private:
+  friend class Writer;
+  friend class Reader;
+
+  void record_read(std::uint64_t bytes) noexcept;
+  void record_write(std::uint64_t bytes) noexcept;
+
+  double latency_;
+  double bandwidth_;
+  double client_bandwidth_;
+  int num_clients_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<detail::FileData>, std::less<>>
+      files_;
+
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+};
+
+}  // namespace pfs

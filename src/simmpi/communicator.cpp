@@ -1,0 +1,422 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "shared_state.hpp"
+
+namespace simmpi {
+
+using detail::SharedState;
+using detail::Slot;
+
+Communicator::Communicator(std::shared_ptr<detail::SharedState> shared,
+                           int rank)
+    : shared_(std::move(shared)), rank_(rank) {}
+
+Communicator::Communicator(std::shared_ptr<detail::SharedState> shared,
+                           int rank, simtime::Clock* borrowed_clock)
+    : shared_(std::move(shared)), rank_(rank), clock_(borrowed_clock) {}
+
+Communicator::~Communicator() = default;
+
+std::unique_ptr<Communicator> Communicator::split(int color, int key) {
+  auto& s = *shared_;
+  // Learn every rank's (color, key) to compute group membership and the
+  // new rank order deterministically on all members.
+  const auto colors = allgather_i64(color);
+  const auto keys = allgather_i64(key);
+  std::vector<std::pair<std::int64_t, int>> members;  // (key, old rank)
+  for (int r = 0; r < s.nranks; ++r) {
+    if (colors[static_cast<std::size_t>(r)] == color) {
+      members.emplace_back(keys[static_cast<std::size_t>(r)], r);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  int new_rank = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].second == rank_) {
+      new_rank = static_cast<int>(i);
+      break;
+    }
+  }
+  const bool leader = members.front().second == rank_;
+
+  s.barrier_wait();
+  if (leader) {
+    auto group = std::make_shared<detail::SharedState>(
+        static_cast<int>(members.size()), s.net_latency, s.net_bandwidth);
+    {
+      const std::scoped_lock lock(s.children_mutex);
+      s.children.push_back(group);
+    }
+    const std::scoped_lock lock(s.split_mutex);
+    s.split_groups[color] = std::move(group);
+  }
+  s.barrier_wait();
+  std::shared_ptr<detail::SharedState> group;
+  {
+    const std::scoped_lock lock(s.split_mutex);
+    group = s.split_groups.at(color);
+  }
+  s.barrier_wait();
+  if (leader) {
+    const std::scoped_lock lock(s.split_mutex);
+    s.split_groups.erase(color);
+  }
+  s.barrier_wait();
+  return std::unique_ptr<Communicator>(
+      new Communicator(std::move(group), new_rank, clock_));
+}
+
+int Communicator::size() const noexcept { return shared_->nranks; }
+
+namespace {
+
+/// Scan all published clocks; every rank computes the same maximum.
+double max_clock(const SharedState& s) {
+  double t = 0.0;
+  for (const auto& slot : s.slots) t = std::max(t, slot.clock);
+  return t;
+}
+
+void check_vector_sizes(const SharedState& s, std::size_t counts,
+                        std::size_t displs, const char* what) {
+  const auto p = static_cast<std::size_t>(s.nranks);
+  if (counts != p || displs != p) {
+    throw mutil::CommError(std::string("simmpi: ") + what +
+                           ": counts/displs must have one entry per rank");
+  }
+}
+
+}  // namespace
+
+void Communicator::barrier() {
+  auto& s = *shared_;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+}
+
+double Communicator::clock_sync() {
+  barrier();
+  return clock_->now();
+}
+
+void Communicator::alltoallv(std::span<const std::byte> send,
+                             std::span<const std::uint64_t> send_counts,
+                             std::span<const std::uint64_t> send_displs,
+                             std::span<std::byte> recv,
+                             std::span<const std::uint64_t> recv_counts,
+                             std::span<const std::uint64_t> recv_displs) {
+  auto& s = *shared_;
+  check_vector_sizes(s, send_counts.size(), send_displs.size(), "alltoallv");
+  check_vector_sizes(s, recv_counts.size(), recv_displs.size(), "alltoallv");
+  for (int i = 0; i < s.nranks; ++i) {
+    if (send_displs[i] + send_counts[i] > send.size()) {
+      throw mutil::CommError("simmpi: alltoallv send region out of bounds");
+    }
+    if (recv_displs[i] + recv_counts[i] > recv.size()) {
+      throw mutil::CommError("simmpi: alltoallv recv region out of bounds");
+    }
+  }
+
+  Slot& mine = s.slots[rank_];
+  mine.send = send.data();
+  mine.counts = send_counts.data();
+  mine.displs = send_displs.data();
+  mine.clock = clock_->now();
+  s.barrier_wait();
+
+  // Pull model: copy my block out of every sender's buffer.
+  std::uint64_t received = 0;
+  for (int src = 0; src < s.nranks; ++src) {
+    const Slot& theirs = s.slots[src];
+    const std::uint64_t len = theirs.counts[rank_];
+    if (len != recv_counts[src]) {
+      throw mutil::CommError(
+          "simmpi: alltoallv recv count mismatch (sender advertised " +
+          std::to_string(len) + ", receiver expected " +
+          std::to_string(recv_counts[src]) + ")");
+    }
+    if (len != 0) {
+      std::memcpy(recv.data() + recv_displs[src],
+                  theirs.send + theirs.displs[rank_], len);
+    }
+    received += len;
+  }
+  const std::uint64_t sent =
+      std::accumulate(send_counts.begin(), send_counts.end(),
+                      std::uint64_t{0});
+  const double t = max_clock(s);
+  s.barrier_wait();
+
+  clock_->set(t + s.collective_latency() +
+             static_cast<double>(std::max(sent, received)) /
+                 s.net_bandwidth);
+  stats_.bytes_sent += sent;
+  stats_.bytes_received += received;
+  ++stats_.collectives;
+}
+
+std::vector<std::uint64_t> Communicator::alltoall_u64(
+    std::span<const std::uint64_t> values) {
+  auto& s = *shared_;
+  if (values.size() != static_cast<std::size_t>(s.nranks)) {
+    throw mutil::CommError("simmpi: alltoall_u64 needs one value per rank");
+  }
+  Slot& mine = s.slots[rank_];
+  mine.counts = values.data();
+  mine.clock = clock_->now();
+  s.barrier_wait();
+
+  std::vector<std::uint64_t> result(static_cast<std::size_t>(s.nranks));
+  for (int src = 0; src < s.nranks; ++src) {
+    result[static_cast<std::size_t>(src)] = s.slots[src].counts[rank_];
+  }
+  const double t = max_clock(s);
+  s.barrier_wait();
+
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return result;
+}
+
+namespace {
+
+template <typename T>
+T reduce_op(T a, T b, Op op) {
+  switch (op) {
+    case Op::kSum: return static_cast<T>(a + b);
+    case Op::kMax: return std::max(a, b);
+    case Op::kMin: return std::min(a, b);
+    case Op::kLor: return static_cast<T>((a != T{}) || (b != T{}));
+    case Op::kLand: return static_cast<T>((a != T{}) && (b != T{}));
+  }
+  return a;
+}
+
+}  // namespace
+
+std::int64_t Communicator::allreduce_i64(std::int64_t value, Op op) {
+  auto& s = *shared_;
+  s.slots[rank_].i64 = value;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  std::int64_t acc = s.slots[0].i64;
+  for (int i = 1; i < s.nranks; ++i) acc = reduce_op(acc, s.slots[i].i64, op);
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return acc;
+}
+
+std::uint64_t Communicator::allreduce_u64(std::uint64_t value, Op op) {
+  auto& s = *shared_;
+  s.slots[rank_].u64 = value;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  std::uint64_t acc = s.slots[0].u64;
+  for (int i = 1; i < s.nranks; ++i) acc = reduce_op(acc, s.slots[i].u64, op);
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return acc;
+}
+
+double Communicator::allreduce_f64(double value, Op op) {
+  auto& s = *shared_;
+  s.slots[rank_].f64 = value;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  double acc = s.slots[0].f64;
+  for (int i = 1; i < s.nranks; ++i) acc = reduce_op(acc, s.slots[i].f64, op);
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return acc;
+}
+
+bool Communicator::allreduce_lor(bool value) {
+  return allreduce_u64(value ? 1 : 0, Op::kLor) != 0;
+}
+
+bool Communicator::allreduce_land(bool value) {
+  return allreduce_u64(value ? 1 : 0, Op::kLand) != 0;
+}
+
+std::vector<std::int64_t> Communicator::allgather_i64(std::int64_t value) {
+  auto& s = *shared_;
+  s.slots[rank_].i64 = value;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  std::vector<std::int64_t> result(static_cast<std::size_t>(s.nranks));
+  for (int i = 0; i < s.nranks; ++i) {
+    result[static_cast<std::size_t>(i)] = s.slots[i].i64;
+  }
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return result;
+}
+
+std::vector<std::uint64_t> Communicator::allgather_u64(std::uint64_t value) {
+  auto& s = *shared_;
+  s.slots[rank_].u64 = value;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  std::vector<std::uint64_t> result(static_cast<std::size_t>(s.nranks));
+  for (int i = 0; i < s.nranks; ++i) {
+    result[static_cast<std::size_t>(i)] = s.slots[i].u64;
+  }
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return result;
+}
+
+void Communicator::bcast(std::span<std::byte> data, int root) {
+  auto& s = *shared_;
+  if (root < 0 || root >= s.nranks) {
+    throw mutil::CommError("simmpi: bcast: bad root rank");
+  }
+  Slot& mine = s.slots[rank_];
+  mine.send = data.data();
+  mine.bytes = data.size();
+  mine.clock = clock_->now();
+  s.barrier_wait();
+  const Slot& src = s.slots[root];
+  if (src.bytes != data.size()) {
+    throw mutil::CommError("simmpi: bcast: buffer size mismatch");
+  }
+  if (rank_ != root && !data.empty()) {
+    std::memcpy(data.data(), src.send, data.size());
+  }
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency() +
+             static_cast<double>(data.size()) / s.net_bandwidth);
+  ++stats_.collectives;
+}
+
+std::uint64_t Communicator::bcast_u64(std::uint64_t value, int root) {
+  auto& s = *shared_;
+  if (root < 0 || root >= s.nranks) {
+    throw mutil::CommError("simmpi: bcast_u64: bad root rank");
+  }
+  s.slots[rank_].u64 = value;
+  s.slots[rank_].clock = clock_->now();
+  s.barrier_wait();
+  const std::uint64_t result = s.slots[root].u64;
+  const double t = max_clock(s);
+  s.barrier_wait();
+  clock_->set(t + s.collective_latency());
+  ++stats_.collectives;
+  return result;
+}
+
+GatherResult Communicator::gatherv(int root,
+                                   std::span<const std::byte> payload) {
+  auto& s = *shared_;
+  if (root < 0 || root >= s.nranks) {
+    throw mutil::CommError("simmpi: gatherv: bad root rank");
+  }
+  Slot& mine = s.slots[rank_];
+  mine.send = payload.data();
+  mine.bytes = payload.size();
+  mine.clock = clock_->now();
+  s.barrier_wait();
+
+  GatherResult result;
+  std::uint64_t total = 0;
+  if (rank_ == root) {
+    result.counts.resize(static_cast<std::size_t>(s.nranks));
+    for (int i = 0; i < s.nranks; ++i) {
+      result.counts[static_cast<std::size_t>(i)] = s.slots[i].bytes;
+      total += s.slots[i].bytes;
+    }
+    result.data.resize(total);
+    std::uint64_t offset = 0;
+    for (int i = 0; i < s.nranks; ++i) {
+      const Slot& theirs = s.slots[i];
+      if (theirs.bytes != 0) {
+        std::memcpy(result.data.data() + offset, theirs.send, theirs.bytes);
+      }
+      offset += theirs.bytes;
+    }
+  }
+  const double t = max_clock(s);
+  s.barrier_wait();
+
+  const std::uint64_t moved = rank_ == root ? total : payload.size();
+  clock_->set(t + s.collective_latency() +
+             static_cast<double>(moved) / s.net_bandwidth);
+  if (rank_ == root) {
+    stats_.bytes_received += total;
+  } else {
+    stats_.bytes_sent += payload.size();
+  }
+  ++stats_.collectives;
+  return result;
+}
+
+void Communicator::send(int dest, int tag,
+                        std::span<const std::byte> payload) {
+  auto& s = *shared_;
+  if (dest < 0 || dest >= s.nranks) {
+    throw mutil::CommError("simmpi: send: bad destination rank");
+  }
+  const double transfer =
+      s.net_latency + static_cast<double>(payload.size()) / s.net_bandwidth;
+  detail::Mailbox::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.arrival = clock_->now() + transfer;
+  msg.payload.assign(payload.begin(), payload.end());
+
+  auto& box = *s.mailboxes[static_cast<std::size_t>(dest)];
+  {
+    const std::scoped_lock lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  clock_->advance(transfer);
+  stats_.bytes_sent += payload.size();
+}
+
+std::vector<std::byte> Communicator::recv(int source, int tag) {
+  auto& s = *shared_;
+  if (source < 0 || source >= s.nranks) {
+    throw mutil::CommError("simmpi: recv: bad source rank");
+  }
+  auto& box = *s.mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    if (s.is_aborted()) throw mutil::CommError("simmpi: job aborted");
+    const auto it =
+        std::find_if(box.messages.begin(), box.messages.end(),
+                     [&](const detail::Mailbox::Message& m) {
+                       return m.source == source && m.tag == tag;
+                     });
+    if (it != box.messages.end()) {
+      detail::Mailbox::Message msg = std::move(*it);
+      box.messages.erase(it);
+      lock.unlock();
+      clock_->sync_to(msg.arrival);
+      stats_.bytes_received += msg.payload.size();
+      return std::move(msg.payload);
+    }
+    box.cv.wait(lock);
+  }
+}
+
+}  // namespace simmpi

@@ -1,0 +1,132 @@
+// simmpi: an MPI-subset message-passing substrate with ranks as threads.
+//
+// The paper's frameworks are written against MPI semantics — collective
+// completion, byte-counted Alltoallv, reductions, barriers, matched
+// point-to-point messages — not against any particular interconnect.
+// This library provides exactly those semantics inside one process:
+// every rank is a std::thread, collectives rendezvous through a shared
+// epoch-fenced slot table, and each operation charges an alpha-beta cost
+// model to the rank's simulated clock (synchronizing clocks to the
+// slowest participant, which is how data skew becomes time skew).
+//
+// Error handling: if any rank throws, the job aborts; ranks blocked in
+// collectives or recv() wake up with mutil::CommError and unwind. The
+// first exception is rethrown from simmpi::run().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simtime/clock.hpp"
+
+namespace simmpi {
+
+namespace detail {
+struct SharedState;
+}
+
+/// Reduction operators for allreduce.
+enum class Op { kSum, kMax, kMin, kLor, kLand };
+
+/// Result of a gatherv: concatenated payloads plus per-rank byte counts.
+/// Only the root rank receives data; other ranks get empty vectors.
+struct GatherResult {
+  std::vector<std::byte> data;
+  std::vector<std::uint64_t> counts;
+};
+
+/// Per-rank communication statistics.
+struct CommStats {
+  std::uint64_t bytes_sent = 0;      ///< alltoallv + p2p payload out
+  std::uint64_t bytes_received = 0;  ///< alltoallv + p2p payload in
+  std::uint64_t collectives = 0;     ///< collective operations entered
+};
+
+/// One rank's endpoint. Each rank thread owns exactly one Communicator;
+/// the object itself is not shared between threads.
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<detail::SharedState> shared, int rank);
+  ~Communicator();
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  simtime::Clock& clock() noexcept { return *clock_; }
+  const CommStats& stats() const noexcept { return stats_; }
+
+  /// Partition the communicator into sub-communicators (MPI_Comm_split):
+  /// ranks sharing `color` form a group, ordered by (key, old rank).
+  /// Collective; every rank receives its group's communicator. The child
+  /// shares this rank's simulated clock, so costs accrue on one
+  /// timeline.
+  std::unique_ptr<Communicator> split(int color, int key);
+
+  // --- Collectives (all ranks must call in the same order) -------------
+
+  void barrier();
+
+  /// Byte-counted all-to-all exchange (MPI_Alltoallv). Counts and
+  /// displacements are in bytes; all spans must have size() == size().
+  void alltoallv(std::span<const std::byte> send,
+                 std::span<const std::uint64_t> send_counts,
+                 std::span<const std::uint64_t> send_displs,
+                 std::span<std::byte> recv,
+                 std::span<const std::uint64_t> recv_counts,
+                 std::span<const std::uint64_t> recv_displs);
+
+  /// Exchange one u64 with every rank (MPI_Alltoall on a single value);
+  /// used to learn recv counts before an alltoallv.
+  std::vector<std::uint64_t> alltoall_u64(
+      std::span<const std::uint64_t> values);
+
+  std::int64_t allreduce_i64(std::int64_t value, Op op);
+  std::uint64_t allreduce_u64(std::uint64_t value, Op op);
+  double allreduce_f64(double value, Op op);
+  bool allreduce_lor(bool value);
+  bool allreduce_land(bool value);
+
+  std::vector<std::int64_t> allgather_i64(std::int64_t value);
+  std::vector<std::uint64_t> allgather_u64(std::uint64_t value);
+
+  /// Broadcast `data` from `root` into every rank's buffer (all buffers
+  /// must have the same size).
+  void bcast(std::span<std::byte> data, int root);
+  std::uint64_t bcast_u64(std::uint64_t value, int root);
+
+  /// Gather variable-length payloads at `root`.
+  GatherResult gatherv(int root, std::span<const std::byte> payload);
+
+  // --- Point-to-point ---------------------------------------------------
+
+  /// Blocking, buffered send (copies the payload).
+  void send(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Blocking receive matching (source, tag). FIFO per (source, tag).
+  std::vector<std::byte> recv(int source, int tag);
+
+  /// Synchronize this rank's clock with all others (max), charging
+  /// barrier latency. Used by frameworks at phase boundaries.
+  double clock_sync();
+
+ private:
+  friend struct detail::SharedState;
+
+  Communicator(std::shared_ptr<detail::SharedState> shared, int rank,
+               simtime::Clock* borrowed_clock);
+
+  std::shared_ptr<detail::SharedState> shared_;
+  int rank_;
+  simtime::Clock own_clock_;
+  simtime::Clock* clock_ = &own_clock_;
+  CommStats stats_;
+};
+
+}  // namespace simmpi

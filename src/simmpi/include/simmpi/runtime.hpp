@@ -1,0 +1,67 @@
+// Job runner: spawns one thread per rank and wires each rank to the full
+// substrate — communicator, simulated clock, memory tracker (per-rank,
+// aggregated into per-node budgets), and the shared parallel file system.
+//
+// A job aborts as a unit: the first rank to throw (typically
+// mutil::OutOfMemoryError) wakes everyone else out of collectives and its
+// exception is rethrown from run(). Benchmarks use this to mark
+// configurations as "cannot run in memory", exactly like the paper's
+// missing data points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "memtrack/tracker.hpp"
+#include "pfs/filesystem.hpp"
+#include "simmpi/comm.hpp"
+#include "simtime/clock.hpp"
+#include "simtime/machine.hpp"
+
+namespace simmpi {
+
+/// Everything one rank sees. Passed by reference to the rank function;
+/// valid only for the duration of the job.
+struct Context {
+  Communicator& comm;
+  memtrack::Tracker& tracker;
+  pfs::FileSystem& fs;
+  const simtime::MachineProfile& machine;
+
+  int rank() const noexcept { return comm.rank(); }
+  int size() const noexcept { return comm.size(); }
+  simtime::Clock& clock() noexcept { return comm.clock(); }
+  /// Simulated node hosting this rank (block placement).
+  int node() const noexcept {
+    return comm.rank() / machine.ranks_per_node;
+  }
+};
+
+/// Aggregated results of a completed job.
+struct JobStats {
+  double sim_time = 0.0;          ///< max final clock across ranks (s)
+  std::uint64_t node_peak = 0;    ///< max per-node peak memory (bytes)
+  std::vector<std::uint64_t> node_peaks;  ///< per-node peak memory
+  std::uint64_t shuffle_bytes = 0;  ///< total bytes through collectives
+  pfs::IoStats io;                ///< file-system traffic of the job
+  int nodes = 0;
+  int ranks = 0;
+};
+
+using RankFn = std::function<void(Context&)>;
+
+/// Run `fn` on `nranks` rank threads against `machine`'s cost model.
+///
+/// `fs` is the shared parallel file system; callers create it up front so
+/// input files survive across jobs. Node memory budgets are created per
+/// simulated node (machine.node_memory; 0 = unlimited). Rethrows the
+/// first rank exception after all threads have been joined.
+JobStats run(int nranks, const simtime::MachineProfile& machine,
+             pfs::FileSystem& fs, const RankFn& fn);
+
+/// Convenience for tests: run with an unlimited test profile and a
+/// throwaway file system.
+JobStats run_test(int nranks, const RankFn& fn);
+
+}  // namespace simmpi

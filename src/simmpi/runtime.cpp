@@ -1,0 +1,91 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "shared_state.hpp"
+
+namespace simmpi {
+
+JobStats run(int nranks, const simtime::MachineProfile& machine,
+             pfs::FileSystem& fs, const RankFn& fn) {
+  if (nranks <= 0) {
+    throw mutil::ConfigError("simmpi::run: nranks must be positive");
+  }
+  const int ranks_per_node = std::max(1, machine.ranks_per_node);
+  const int nodes = (nranks + ranks_per_node - 1) / ranks_per_node;
+
+  auto shared = std::make_shared<detail::SharedState>(
+      nranks, machine.net_latency, machine.net_bandwidth);
+
+  std::vector<std::unique_ptr<memtrack::NodeBudget>> budgets;
+  budgets.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    budgets.push_back(
+        std::make_unique<memtrack::NodeBudget>(machine.node_memory));
+  }
+
+  std::vector<std::unique_ptr<memtrack::Tracker>> trackers(
+      static_cast<std::size_t>(nranks));
+  std::vector<std::unique_ptr<Communicator>> comms(
+      static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    trackers[static_cast<std::size_t>(r)] =
+        std::make_unique<memtrack::Tracker>(
+            budgets[static_cast<std::size_t>(r / ranks_per_node)].get());
+    comms[static_cast<std::size_t>(r)] =
+        std::make_unique<Communicator>(shared, r);
+  }
+
+  const pfs::IoStats io_before = fs.stats();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Context ctx{*comms[static_cast<std::size_t>(r)],
+                  *trackers[static_cast<std::size_t>(r)], fs, machine};
+      try {
+        fn(ctx);
+      } catch (...) {
+        shared->abort(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  {
+    const std::scoped_lock lock(shared->error_mutex);
+    if (shared->first_error) std::rethrow_exception(shared->first_error);
+  }
+
+  JobStats stats;
+  stats.ranks = nranks;
+  stats.nodes = nodes;
+  for (int r = 0; r < nranks; ++r) {
+    auto& comm = *comms[static_cast<std::size_t>(r)];
+    stats.sim_time = std::max(stats.sim_time, comm.clock().now());
+    stats.shuffle_bytes += comm.stats().bytes_sent;
+  }
+  stats.node_peaks.reserve(budgets.size());
+  for (const auto& budget : budgets) {
+    stats.node_peaks.push_back(budget->peak());
+    stats.node_peak = std::max<std::uint64_t>(stats.node_peak,
+                                              budget->peak());
+  }
+  const pfs::IoStats io_after = fs.stats();
+  stats.io.bytes_read = io_after.bytes_read - io_before.bytes_read;
+  stats.io.bytes_written = io_after.bytes_written - io_before.bytes_written;
+  stats.io.read_ops = io_after.read_ops - io_before.read_ops;
+  stats.io.write_ops = io_after.write_ops - io_before.write_ops;
+  return stats;
+}
+
+JobStats run_test(int nranks, const RankFn& fn) {
+  const simtime::MachineProfile machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, nranks);
+  return run(nranks, machine, fs, fn);
+}
+
+}  // namespace simmpi

@@ -1,0 +1,147 @@
+// Internal shared state for a simmpi job: the collective rendezvous slot
+// table, the global barrier, per-rank mailboxes, and the abort channel.
+// Private to the simmpi library.
+#pragma once
+
+#include <bit>
+#include <condition_variable>
+#include <map>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace simmpi::detail {
+
+/// Per-rank publication slot used by collectives. Written by its owner
+/// before the entry barrier, read by everyone between the entry and exit
+/// barriers. Cache-line aligned to avoid false sharing on the hot path.
+struct alignas(64) Slot {
+  const std::byte* send = nullptr;
+  std::byte* recv = nullptr;
+  const std::uint64_t* counts = nullptr;
+  const std::uint64_t* displs = nullptr;
+  std::int64_t i64 = 0;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  double clock = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Point-to-point mailbox of one rank.
+struct Mailbox {
+  struct Message {
+    int source = 0;
+    int tag = 0;
+    double arrival = 0.0;  ///< simulated arrival time at the receiver
+    std::vector<std::byte> payload;
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> messages;
+};
+
+struct SharedState {
+  SharedState(int num_ranks, double latency, double bandwidth)
+      : nranks(num_ranks),
+        net_latency(latency),
+        net_bandwidth(bandwidth),
+        slots(static_cast<std::size_t>(num_ranks)),
+        mailboxes(static_cast<std::size_t>(num_ranks)) {
+    for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
+  }
+
+  const int nranks;
+  const double net_latency;
+  const double net_bandwidth;
+
+  // Global generation barrier.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  bool aborted = false;
+
+  // First exception wins; the rest are dropped.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<Slot> slots;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // Rendezvous area for split(): group leaders publish the new group's
+  // state here between two barriers.
+  std::mutex split_mutex;
+  std::map<int, std::shared_ptr<SharedState>> split_groups;
+
+  // Children created by split(): an abort cascades into them so ranks
+  // blocked in sub-communicator collectives unwind as well.
+  std::mutex children_mutex;
+  std::vector<std::weak_ptr<SharedState>> children;
+
+  /// Number of rounds of a log-tree collective.
+  int rounds() const noexcept {
+    return nranks <= 1 ? 0
+                       : std::bit_width(
+                             static_cast<unsigned>(nranks - 1));
+  }
+
+  /// Latency charge for one collective.
+  double collective_latency() const noexcept {
+    return net_latency * rounds();
+  }
+
+  /// Enter the global barrier; throws mutil::CommError once aborted.
+  void barrier_wait() {
+    std::unique_lock lock(mutex);
+    if (aborted) throw mutil::CommError("simmpi: job aborted");
+    const std::uint64_t gen = generation;
+    if (++arrived == nranks) {
+      arrived = 0;
+      ++generation;
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return generation != gen || aborted; });
+      if (aborted && generation == gen) {
+        throw mutil::CommError("simmpi: job aborted");
+      }
+    }
+  }
+
+  /// Record the first error, mark the job aborted, wake every waiter.
+  void abort(std::exception_ptr error) {
+    {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = error;
+    }
+    {
+      const std::scoped_lock lock(mutex);
+      aborted = true;
+    }
+    cv.notify_all();
+    for (auto& box : mailboxes) {
+      const std::scoped_lock lock(box->mutex);
+      box->cv.notify_all();
+    }
+    std::vector<std::shared_ptr<SharedState>> kids;
+    {
+      const std::scoped_lock lock(children_mutex);
+      for (auto& weak : children) {
+        if (auto kid = weak.lock()) kids.push_back(std::move(kid));
+      }
+    }
+    for (auto& kid : kids) kid->abort(error);
+  }
+
+  bool is_aborted() {
+    const std::scoped_lock lock(mutex);
+    return aborted;
+  }
+};
+
+}  // namespace simmpi::detail

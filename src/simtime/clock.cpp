@@ -1,0 +1,5 @@
+#include "simtime/clock.hpp"
+
+// Clock is header-only; this TU exists so the library has a stable
+// archive member and a place for future out-of-line additions.
+namespace simtime {}

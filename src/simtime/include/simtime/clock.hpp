@@ -1,0 +1,31 @@
+// Simulated per-rank clocks.
+//
+// Wall-clock on a single oversubscribed core cannot reproduce the paper's
+// timing figures, so every framework operation charges a deterministic
+// cost (from the MachineProfile) to the calling rank's Clock. Collectives
+// synchronize clocks to the slowest participant, which is exactly the
+// mechanism behind the paper's load-imbalance observations: a rank holding
+// more intermediate data charges more time and drags everyone with it.
+#pragma once
+
+#include <algorithm>
+
+namespace simtime {
+
+/// One rank's simulated clock, in seconds. Owned by a single thread;
+/// synchronization happens explicitly through collective operations.
+class Clock {
+ public:
+  Clock() noexcept = default;
+
+  void advance(double seconds) noexcept { now_ += seconds; }
+  double now() const noexcept { return now_; }
+  void set(double t) noexcept { now_ = t; }
+  void sync_to(double t) noexcept { now_ = std::max(now_, t); }
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace simtime

@@ -1,0 +1,63 @@
+// Machine cost-model profiles.
+//
+// Two profiles stand in for the paper's testbeds, with every *size*
+// scaled by 1/1024 (datasets, pages, node memory) so laptop runs keep the
+// paper's size:page:memory ratios:
+//
+//   comet_sim — SDSC Comet:   24-core Xeon nodes, 128 GB -> 128 MB,
+//               FDR InfiniBand, Lustre.
+//   mira_sim  — ALCF Mira:    16-core BG/Q nodes, 16 GB -> 16 MB,
+//               5-D torus, GPFS (shared I/O forwarding, 1:128).
+//
+// Rates are chosen so that the relative magnitudes match the real
+// machines (Mira cores ~5x slower than Comet cores; PFS bandwidth orders
+// of magnitude below memory processing rates), which is what the
+// reproduced figures' *shapes* depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mutil/config.hpp"
+
+namespace simtime {
+
+struct MachineProfile {
+  std::string name;
+
+  // Topology.
+  int ranks_per_node = 1;
+  std::uint64_t node_memory = 0;  ///< bytes of DRAM per node (0 = unlimited)
+
+  // Compute rates, bytes/second per rank.
+  double map_rate = 0;      ///< user map callback processing of input bytes
+  double kv_rate = 0;       ///< framework KV handling (hash, copy, insert)
+  double reduce_rate = 0;   ///< convert/reduce processing of KV bytes
+
+  // Network (alpha-beta model per collective).
+  double net_latency = 0;    ///< seconds per collective round
+  double net_bandwidth = 0;  ///< bytes/second injection per rank
+
+  // Parallel file system. A client moves bytes at
+  // min(pfs_client_bandwidth, pfs_bandwidth / num_clients): small jobs
+  // are limited by their own link to the PFS, very wide jobs contend
+  // for the aggregate backend bandwidth.
+  double pfs_latency = 0;           ///< seconds per I/O operation
+  double pfs_bandwidth = 0;         ///< aggregate backend bytes/second
+  double pfs_client_bandwidth = 0;  ///< per-rank ceiling, bytes/second
+
+  /// SDSC Comet stand-in (sizes scaled 1/1024).
+  static MachineProfile comet_sim();
+  /// ALCF Mira (BG/Q) stand-in (sizes scaled 1/1024).
+  static MachineProfile mira_sim();
+  /// Unlimited-memory, zero-cost profile for unit tests.
+  static MachineProfile test_profile();
+
+  /// Look up by name ("comet", "mira", "test"); throws ConfigError.
+  static MachineProfile by_name(const std::string& name);
+
+  /// Apply "machine.*" overrides from a Config (e.g. machine.node_memory).
+  void apply_overrides(const mutil::Config& cfg);
+};
+
+}  // namespace simtime

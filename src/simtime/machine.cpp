@@ -1,0 +1,81 @@
+#include "simtime/machine.hpp"
+
+#include "mutil/error.hpp"
+
+namespace simtime {
+
+namespace {
+constexpr std::uint64_t kMiB = 1ULL << 20;
+}
+
+MachineProfile MachineProfile::comet_sim() {
+  MachineProfile p;
+  p.name = "comet_sim";
+  p.ranks_per_node = 24;            // two 12-core Xeon E5-2680v3
+  p.node_memory = 128 * kMiB;       // 128 GB scaled by 1/1024
+  p.map_rate = 200e3;               // ~200 MB/s/core scaled by 1/1024
+  p.kv_rate = 400e3;
+  p.reduce_rate = 400e3;
+  p.net_latency = 2e-6;             // FDR InfiniBand
+  p.net_bandwidth = 280e3;          // ~7 GB/s node / 24 ranks, scaled
+  p.pfs_latency = 5e-3;             // Lustre metadata + RPC round trip
+  p.pfs_bandwidth = 4e6;            // aggregate backend, scaled
+  p.pfs_client_bandwidth = 20e3;    // per-rank share of one node's link
+  return p;
+}
+
+MachineProfile MachineProfile::mira_sim() {
+  MachineProfile p;
+  p.name = "mira_sim";
+  p.ranks_per_node = 16;            // 16 PowerPC A2 cores per node
+  p.node_memory = 16 * kMiB;        // 16 GB scaled by 1/1024
+  p.map_rate = 40e3;                // A2 cores ~5x slower than Xeon
+  p.kv_rate = 80e3;
+  p.reduce_rate = 80e3;
+  p.net_latency = 3e-6;             // 5-D torus
+  p.net_bandwidth = 120e3;          // ~2 GB/s node / 16 ranks, scaled
+  p.pfs_latency = 10e-3;            // GPFS through 1:128 I/O forwarding
+  p.pfs_bandwidth = 3e6;            // aggregate backend, scaled
+  p.pfs_client_bandwidth = 15e3;    // per-rank share via I/O forwarding
+  return p;
+}
+
+MachineProfile MachineProfile::test_profile() {
+  MachineProfile p;
+  p.name = "test";
+  p.ranks_per_node = 4;
+  p.node_memory = 0;  // unlimited
+  p.map_rate = 1e12;
+  p.kv_rate = 1e12;
+  p.reduce_rate = 1e12;
+  p.net_latency = 0.0;
+  p.net_bandwidth = 1e12;
+  p.pfs_latency = 0.0;
+  p.pfs_bandwidth = 1e12;
+  p.pfs_client_bandwidth = 1e12;
+  return p;
+}
+
+MachineProfile MachineProfile::by_name(const std::string& name) {
+  if (name == "comet" || name == "comet_sim") return comet_sim();
+  if (name == "mira" || name == "mira_sim") return mira_sim();
+  if (name == "test") return test_profile();
+  throw mutil::ConfigError("unknown machine profile '" + name + "'");
+}
+
+void MachineProfile::apply_overrides(const mutil::Config& cfg) {
+  ranks_per_node = static_cast<int>(
+      cfg.get_int("machine.ranks_per_node", ranks_per_node));
+  node_memory = cfg.get_size("machine.node_memory", node_memory);
+  map_rate = cfg.get_double("machine.map_rate", map_rate);
+  kv_rate = cfg.get_double("machine.kv_rate", kv_rate);
+  reduce_rate = cfg.get_double("machine.reduce_rate", reduce_rate);
+  net_latency = cfg.get_double("machine.net_latency", net_latency);
+  net_bandwidth = cfg.get_double("machine.net_bandwidth", net_bandwidth);
+  pfs_latency = cfg.get_double("machine.pfs_latency", pfs_latency);
+  pfs_bandwidth = cfg.get_double("machine.pfs_bandwidth", pfs_bandwidth);
+  pfs_client_bandwidth = cfg.get_double("machine.pfs_client_bandwidth",
+                                        pfs_client_bandwidth);
+}
+
+}  // namespace simtime

@@ -1,0 +1,118 @@
+#include "apps/octree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using apps::oc::octant_code;
+using apps::oc::Point;
+using apps::oc::RunOptions;
+
+TEST(Octree, MortonCodeBasics) {
+  // Depth 1: each coordinate contributes one bit (x highest).
+  EXPECT_EQ(octant_code({0.1f, 0.1f, 0.1f}, 1), 0u);
+  EXPECT_EQ(octant_code({0.9f, 0.1f, 0.1f}, 1), 4u);
+  EXPECT_EQ(octant_code({0.1f, 0.9f, 0.1f}, 1), 2u);
+  EXPECT_EQ(octant_code({0.1f, 0.1f, 0.9f}, 1), 1u);
+  EXPECT_EQ(octant_code({0.9f, 0.9f, 0.9f}, 1), 7u);
+}
+
+TEST(Octree, MortonCodeRefines) {
+  const Point p{0.3f, 0.6f, 0.9f};
+  // A child code's top three bits are its parent's code.
+  for (int depth = 1; depth < 8; ++depth) {
+    EXPECT_EQ(octant_code(p, depth + 1) >> 3, octant_code(p, depth))
+        << "depth " << depth;
+  }
+}
+
+TEST(Octree, OutOfRangeCoordinatesClamp) {
+  EXPECT_EQ(octant_code({-3.0f, -1.0f, -0.5f}, 2), octant_code({0, 0, 0}, 2));
+  EXPECT_EQ(octant_code({4.0f, 2.0f, 1.5f}, 2),
+            octant_code({0.999f, 0.999f, 0.999f}, 2));
+}
+
+TEST(Octree, GenerationIsRankPartitioned) {
+  const auto all = apps::oc::generate_points(1000, 0, 1, 42);
+  const auto first = apps::oc::generate_points(1000, 0, 4, 42);
+  const auto last = apps::oc::generate_points(1000, 3, 4, 42);
+  ASSERT_EQ(all.size(), 1000u);
+  ASSERT_EQ(first.size(), 250u);
+  EXPECT_EQ(all[0].x, first[0].x);
+  EXPECT_EQ(all[750].x, last[0].x);
+}
+
+TEST(Octree, PointsFollowNormalDistribution) {
+  const auto points = apps::oc::generate_points(20000, 0, 1, 7, 0.5);
+  double sum = 0, sum_sq = 0;
+  for (const auto& p : points) {
+    sum += p.x;
+    sum_sq += static_cast<double>(p.x) * p.x;
+  }
+  const double mean = sum / static_cast<double>(points.size());
+  const double var = sum_sq / static_cast<double>(points.size()) -
+                     mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(Octree, ReferenceFindsDenseRegions) {
+  RunOptions opts;
+  opts.num_points = 1 << 12;
+  opts.density = 0.01;
+  opts.max_depth = 8;
+  const auto ref = apps::oc::reference(opts);
+  EXPECT_GT(ref.levels, 1);
+  EXPECT_GT(ref.dense_octants, 0u);
+  EXPECT_GT(ref.clustered_points, 0u);
+}
+
+struct OcCase {
+  bool mrmpi;
+  bool hint;
+  bool pr;
+  bool cps;
+  int ranks;
+  const char* name;
+};
+
+class OcFrameworks : public ::testing::TestWithParam<OcCase> {};
+
+TEST_P(OcFrameworks, MatchesSerialReference) {
+  const OcCase c = GetParam();
+  RunOptions opts;
+  opts.num_points = 1 << 12;
+  opts.density = 0.01;
+  opts.max_depth = 6;
+  opts.page_size = 32 << 10;
+  opts.comm_buffer = 32 << 10;
+  opts.hint = c.hint;
+  opts.pr = c.pr;
+  opts.cps = c.cps;
+  const auto ref = apps::oc::reference(opts);
+
+  auto machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, c.ranks);
+  simmpi::run(c.ranks, machine, fs, [&](simmpi::Context& ctx) {
+    const auto result = c.mrmpi ? apps::oc::run_mrmpi(ctx, opts)
+                                : apps::oc::run_mimir(ctx, opts);
+    EXPECT_EQ(result.levels, ref.levels);
+    EXPECT_EQ(result.dense_octants, ref.dense_octants);
+    EXPECT_EQ(result.clustered_points, ref.clustered_points);
+    EXPECT_EQ(result.checksum, ref.checksum);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, OcFrameworks,
+    ::testing::Values(OcCase{false, false, false, false, 1, "mimir_serial"},
+                      OcCase{false, false, false, false, 4, "mimir_base"},
+                      OcCase{false, true, false, false, 4, "mimir_hint"},
+                      OcCase{false, true, true, false, 4, "mimir_hint_pr"},
+                      OcCase{false, true, true, true, 4, "mimir_all"},
+                      OcCase{true, false, false, false, 4, "mrmpi_base"},
+                      OcCase{true, false, false, true, 4, "mrmpi_cps"},
+                      OcCase{false, false, false, false, 7, "mimir_p7"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "apps/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using apps::pr::RunOptions;
+
+TEST(PageRank, ReferenceConservesRankMass) {
+  RunOptions opts;
+  opts.scale = 8;
+  opts.iterations = 5;
+  const auto ref = apps::pr::reference(opts);
+  EXPECT_NEAR(ref.total_rank, 1.0, 1e-9);
+  EXPECT_GT(ref.max_rank, 1.0 / (1 << 8))
+      << "hubs must rank above the uniform value";
+}
+
+TEST(PageRank, HubsOutrankLeaves) {
+  RunOptions opts;
+  opts.scale = 8;
+  opts.iterations = 10;
+  const auto ranks = apps::pr::reference_ranks(opts);
+  // Vertex 0 is the densest R-MAT corner; it should be near the top.
+  std::size_t better = 0;
+  for (const auto& [v, r] : ranks) {
+    if (r > ranks.at(0)) ++better;
+  }
+  EXPECT_LT(better, ranks.size() / 100);
+}
+
+struct PrCase {
+  bool mrmpi;
+  bool hint;
+  bool cps;
+  int ranks;
+  const char* name;
+};
+
+class PageRankFrameworks : public ::testing::TestWithParam<PrCase> {};
+
+TEST_P(PageRankFrameworks, MatchesSerialReference) {
+  const PrCase c = GetParam();
+  RunOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 8;
+  opts.iterations = 6;
+  opts.page_size = 32 << 10;
+  opts.comm_buffer = 32 << 10;
+  opts.hint = c.hint;
+  opts.cps = c.cps;
+  const auto ref = apps::pr::reference(opts);
+
+  auto machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, c.ranks);
+  simmpi::run(c.ranks, machine, fs, [&](simmpi::Context& ctx) {
+    const auto result = c.mrmpi ? apps::pr::run_mrmpi(ctx, opts)
+                                : apps::pr::run_mimir(ctx, opts);
+    // Floating-point sums are order-sensitive across rank counts; the
+    // tolerance covers reassociation, not algorithmic drift.
+    EXPECT_NEAR(result.total_rank, ref.total_rank, 1e-9);
+    EXPECT_NEAR(result.max_rank, ref.max_rank, 1e-12);
+    EXPECT_EQ(result.max_vertex, ref.max_vertex);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, PageRankFrameworks,
+    ::testing::Values(PrCase{false, false, false, 1, "mimir_serial"},
+                      PrCase{false, false, false, 4, "mimir_base"},
+                      PrCase{false, true, false, 4, "mimir_hint"},
+                      PrCase{false, true, true, 4, "mimir_hint_cps"},
+                      PrCase{true, false, false, 3, "mrmpi_base"},
+                      PrCase{true, false, true, 3, "mrmpi_cps"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(PageRank, PerVertexValuesMatchReference) {
+  RunOptions opts;
+  opts.scale = 7;
+  opts.edge_factor = 8;
+  opts.iterations = 4;
+  const auto ref = apps::pr::reference_ranks(opts);
+
+  auto machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, 4);
+  simmpi::run(4, machine, fs, [&](simmpi::Context& ctx) {
+    // Re-run and compare every owned vertex against the reference by
+    // recomputing through the public API (run_mimir reports aggregates,
+    // so we check the aggregate derived from ref instead).
+    const auto result = apps::pr::run_mimir(ctx, opts);
+    double expected_total = 0;
+    for (const auto& [v, r] : ref) expected_total += r;
+    EXPECT_NEAR(result.total_rank, expected_total, 1e-9);
+  });
+}
+
+TEST(PageRank, DampingOneConcentratesOnCycles) {
+  // Sanity: with damping ~1 and enough iterations, total mass is still
+  // conserved (dangling redistribution keeps the chain stochastic).
+  RunOptions opts;
+  opts.scale = 6;
+  opts.iterations = 20;
+  opts.damping = 0.99;
+  const auto ref = apps::pr::reference(opts);
+  EXPECT_NEAR(ref.total_rank, 1.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "mutil/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+TEST(Config, FromArgsParsesPairs) {
+  const auto cfg = mutil::Config::from_args({"a=1", "b=hello", "c=64M"});
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello");
+  EXPECT_EQ(cfg.get_size("c", 0), 64u << 20);
+}
+
+TEST(Config, FromArgsRejectsMalformed) {
+  EXPECT_THROW(mutil::Config::from_args({"novalue"}), mutil::ConfigError);
+  EXPECT_THROW(mutil::Config::from_args({"=x"}), mutil::ConfigError);
+}
+
+TEST(Config, FallbacksApplyWhenMissing) {
+  const mutil::Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_EQ(cfg.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_EQ(cfg.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(cfg.get_size("missing", 42), 42u);
+}
+
+TEST(Config, BoolAcceptsCommonSpellings) {
+  auto cfg = mutil::Config::from_args(
+      {"a=true", "b=0", "c=YES", "d=off", "e=1"});
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+}
+
+TEST(Config, TypedGettersRejectGarbage) {
+  auto cfg = mutil::Config::from_args({"n=abc", "x=1.2.3", "b=maybe"});
+  EXPECT_THROW(cfg.get_int("n", 0), mutil::ConfigError);
+  EXPECT_THROW(cfg.get_double("x", 0), mutil::ConfigError);
+  EXPECT_THROW(cfg.get_bool("b", false), mutil::ConfigError);
+}
+
+TEST(Config, MergeOtherWins) {
+  auto base = mutil::Config::from_args({"a=1", "b=2"});
+  const auto over = mutil::Config::from_args({"b=20", "c=30"});
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 20);
+  EXPECT_EQ(base.get_int("c", 0), 30);
+}
+
+TEST(Config, SetOverwrites) {
+  mutil::Config cfg;
+  cfg.set("k", "1");
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+  EXPECT_TRUE(cfg.contains("k"));
+  EXPECT_FALSE(cfg.contains("z"));
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+#include "mutil/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace {
+
+TEST(Hash, Fnv1aMatchesKnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(mutil::fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(mutil::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(mutil::fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, ByteAndStringViewsAgree) {
+  const std::string text = "the quick brown fox";
+  const std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(text.data()), text.size());
+  EXPECT_EQ(mutil::fnv1a(text), mutil::fnv1a(bytes));
+  EXPECT_EQ(mutil::hash_bytes(text), mutil::hash_bytes(bytes));
+}
+
+TEST(Hash, MixedHashDiffersFromRawFnv) {
+  EXPECT_NE(mutil::hash_bytes("key"), mutil::fnv1a("key"));
+}
+
+TEST(Hash, SequentialKeysSpreadAcrossBuckets) {
+  // Partitioning quality: 1000 sequential keys into 16 buckets should
+  // put something in every bucket and nothing grossly overloaded.
+  constexpr int kBuckets = 16;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "word" + std::to_string(i);
+    ++counts[mutil::hash_bytes(key) % kBuckets];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 20);
+    EXPECT_LT(c, 140);
+  }
+}
+
+TEST(Hash, Mix64IsBijectivePrefix) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    seen.insert(mutil::mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+}  // namespace

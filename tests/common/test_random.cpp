@@ -1,0 +1,119 @@
+#include "mutil/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+TEST(Random, DeterministicAcrossInstances) {
+  mutil::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  mutil::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BelowStaysInRange) {
+  mutil::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Random, BelowIsRoughlyUniform) {
+  mutil::Xoshiro256 rng(13);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Random, UniformInUnitInterval) {
+  mutil::Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, NormalMomentsMatch) {
+  mutil::Xoshiro256 rng(11);
+  constexpr int kSamples = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Random, SplitStreamsAreIndependent) {
+  mutil::Xoshiro256 a(99);
+  mutil::Xoshiro256 b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(mutil::ZipfSampler(0, 1.0), mutil::ConfigError);
+  EXPECT_THROW(mutil::ZipfSampler(10, 0.0), mutil::ConfigError);
+}
+
+TEST(Zipf, SamplesStayInDomain) {
+  mutil::ZipfSampler zipf(100, 1.1);
+  mutil::Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 100u);
+  }
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, FrequenciesFollowPowerLaw) {
+  const double s = GetParam();
+  mutil::ZipfSampler zipf(1000, s);
+  mutil::Xoshiro256 rng(17);
+  constexpr int kSamples = 200000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+
+  // The ratio of frequency(rank 1) / frequency(rank 4) should be about
+  // 4^s for a Zipf law.
+  const double f1 = counts[0];
+  const double f4 = counts[3];
+  ASSERT_GT(f4, 100);  // enough mass to compare
+  const double expected = std::pow(4.0, s);
+  EXPECT_NEAR(f1 / f4, expected, expected * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.8, 1.0, 1.2));
+
+}  // namespace

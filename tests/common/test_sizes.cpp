@@ -1,0 +1,57 @@
+#include "mutil/sizes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+TEST(Sizes, ParsePlainBytes) {
+  EXPECT_EQ(mutil::parse_size("0"), 0u);
+  EXPECT_EQ(mutil::parse_size("123"), 123u);
+  EXPECT_EQ(mutil::parse_size("123B"), 123u);
+}
+
+TEST(Sizes, ParseSuffixes) {
+  EXPECT_EQ(mutil::parse_size("1K"), 1024u);
+  EXPECT_EQ(mutil::parse_size("64k"), 64u * 1024);
+  EXPECT_EQ(mutil::parse_size("64M"), 64u * 1024 * 1024);
+  EXPECT_EQ(mutil::parse_size("2G"), 2ull << 30);
+  EXPECT_EQ(mutil::parse_size("1T"), 1ull << 40);
+  EXPECT_EQ(mutil::parse_size("64MB"), 64u * 1024 * 1024);
+  EXPECT_EQ(mutil::parse_size("64MiB"), 64u * 1024 * 1024);
+}
+
+TEST(Sizes, ParseFractional) {
+  EXPECT_EQ(mutil::parse_size("0.5K"), 512u);
+  EXPECT_EQ(mutil::parse_size("1.5M"), (3u << 20) / 2);
+}
+
+TEST(Sizes, ParseRejectsGarbage) {
+  EXPECT_THROW(mutil::parse_size(""), mutil::ConfigError);
+  EXPECT_THROW(mutil::parse_size("abc"), mutil::ConfigError);
+  EXPECT_THROW(mutil::parse_size("12Q"), mutil::ConfigError);
+  EXPECT_THROW(mutil::parse_size("12Kxx"), mutil::ConfigError);
+  EXPECT_THROW(mutil::parse_size("-5K"), mutil::ConfigError);
+}
+
+TEST(Sizes, FormatPaperStyle) {
+  EXPECT_EQ(mutil::format_size(256u << 20), "256M");
+  EXPECT_EQ(mutil::format_size(1u << 30), "1G");
+  EXPECT_EQ(mutil::format_size(64u << 10), "64K");
+  EXPECT_EQ(mutil::format_size(512), "512");
+}
+
+TEST(Sizes, FormatRoundTrip) {
+  for (const std::uint64_t v :
+       {1ull << 10, 1ull << 20, 64ull << 20, 3ull << 30}) {
+    EXPECT_EQ(mutil::parse_size(mutil::format_size(v)), v);
+  }
+}
+
+TEST(Sizes, FormatPow2) {
+  EXPECT_EQ(mutil::format_pow2(1u << 24), "2^24");
+  EXPECT_EQ(mutil::format_pow2(3000000), "3000000");
+}
+
+}  // namespace

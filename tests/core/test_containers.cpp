@@ -1,0 +1,211 @@
+#include "mimir/containers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using mimir::KVContainer;
+using mimir::KMVContainer;
+using mimir::KVHint;
+using mimir::KVView;
+using mimir::ValueReader;
+
+TEST(KVContainer, AppendAndScan) {
+  memtrack::Tracker tracker;
+  KVContainer kvc(tracker, 1024);
+  kvc.append("alpha", "1");
+  kvc.append("beta", "22");
+  EXPECT_EQ(kvc.num_kvs(), 2u);
+  std::vector<std::string> seen;
+  kvc.scan([&](const KVView& kv) {
+    seen.push_back(std::string(kv.key) + "=" + std::string(kv.value));
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "alpha=1");
+  EXPECT_EQ(seen[1], "beta=22");
+}
+
+TEST(KVContainer, GrowsPagesOnDemand) {
+  memtrack::Tracker tracker;
+  KVContainer kvc(tracker, 64);
+  for (int i = 0; i < 50; ++i) {
+    kvc.append("key" + std::to_string(i), "value");
+  }
+  EXPECT_GT(kvc.num_pages(), 1u);
+  EXPECT_EQ(kvc.num_kvs(), 50u);
+  EXPECT_GE(kvc.allocated_bytes(), kvc.data_bytes());
+  EXPECT_EQ(tracker.current(), kvc.allocated_bytes());
+}
+
+TEST(KVContainer, ConsumeFreesPagesProgressively) {
+  memtrack::Tracker tracker;
+  KVContainer kvc(tracker, 64);
+  for (int i = 0; i < 100; ++i) kvc.append("k" + std::to_string(i), "v");
+  const std::uint64_t before = tracker.current();
+  std::uint64_t min_seen = before;
+  int count = 0;
+  kvc.consume([&](const KVView&) {
+    ++count;
+    min_seen = std::min(min_seen, tracker.current());
+  });
+  EXPECT_EQ(count, 100);
+  EXPECT_LT(min_seen, before) << "pages must be freed during consumption";
+  EXPECT_EQ(tracker.current(), 0u);
+  EXPECT_TRUE(kvc.empty());
+}
+
+TEST(KVContainer, OversizedRecordGetsDedicatedPage) {
+  memtrack::Tracker tracker;
+  KVContainer kvc(tracker, 32);
+  const std::string big(500, 'x');
+  kvc.append("k", big);
+  EXPECT_EQ(kvc.num_kvs(), 1u);
+  std::string out;
+  kvc.scan([&](const KVView& kv) { out = std::string(kv.value); });
+  EXPECT_EQ(out, big);
+}
+
+TEST(KVContainer, AppendEncodedRepacks) {
+  memtrack::Tracker tracker;
+  KVContainer src(tracker, 256), dst(tracker, 64);
+  for (int i = 0; i < 20; ++i) src.append("k" + std::to_string(i), "vv");
+  // Concatenate src's single page region into dst with a smaller page.
+  src.scan([](const KVView&) {});
+  std::vector<std::byte> flat;
+  // Use the public path: encode via scan + append, then compare against
+  // append_encoded of a manually built stream.
+  const mimir::KVCodec& codec = src.codec();
+  src.scan([&](const KVView& kv) {
+    const std::size_t old = flat.size();
+    flat.resize(old + codec.encoded_size(kv.key, kv.value));
+    codec.encode(flat.data() + old, kv.key, kv.value);
+  });
+  dst.append_encoded(flat);
+  EXPECT_EQ(dst.num_kvs(), 20u);
+  EXPECT_EQ(dst.data_bytes(), src.data_bytes());
+}
+
+TEST(KVContainer, HintPropagatesToStorage) {
+  memtrack::Tracker tracker;
+  KVContainer plain(tracker, 4096, KVHint::variable());
+  KVContainer hinted(tracker, 4096, KVHint::string_key_u64_value());
+  const std::string value(8, 'v');
+  for (int i = 0; i < 100; ++i) {
+    plain.append("word" + std::to_string(i), value);
+    hinted.append("word" + std::to_string(i), value);
+  }
+  EXPECT_LT(hinted.data_bytes(), plain.data_bytes());
+}
+
+TEST(KVContainer, ClearReleasesMemory) {
+  memtrack::Tracker tracker;
+  KVContainer kvc(tracker, 64);
+  for (int i = 0; i < 40; ++i) kvc.append("key", "value");
+  EXPECT_GT(tracker.current(), 0u);
+  kvc.clear();
+  EXPECT_EQ(tracker.current(), 0u);
+  EXPECT_EQ(kvc.num_kvs(), 0u);
+}
+
+TEST(KVContainer, RejectsZeroPageSize) {
+  memtrack::Tracker tracker;
+  EXPECT_THROW(KVContainer(tracker, 0), mutil::ConfigError);
+}
+
+// --- KMV -------------------------------------------------------------------
+
+TEST(KMVContainer, ReserveFillIterate) {
+  memtrack::Tracker tracker;
+  KMVContainer kmvc(tracker, 1024);
+  auto slot = kmvc.reserve("fruit", 3, 5 + 4 + 6);
+  kmvc.add_value(slot, "apple");
+  kmvc.add_value(slot, "pear");
+  kmvc.add_value(slot, "banana");
+  auto slot2 = kmvc.reserve("empty", 0, 0);
+  (void)slot2;
+
+  std::map<std::string, std::vector<std::string>> seen;
+  kmvc.for_each([&](std::string_view key, ValueReader& values) {
+    auto& list = seen[std::string(key)];
+    std::string_view v;
+    while (values.next(v)) list.emplace_back(v);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen["fruit"],
+            (std::vector<std::string>{"apple", "pear", "banana"}));
+  EXPECT_TRUE(seen["empty"].empty());
+}
+
+TEST(KMVContainer, ValueReaderRewind) {
+  memtrack::Tracker tracker;
+  KMVContainer kmvc(tracker, 1024);
+  auto slot = kmvc.reserve("k", 2, 2);
+  kmvc.add_value(slot, "a");
+  kmvc.add_value(slot, "b");
+  kmvc.for_each([&](std::string_view, ValueReader& values) {
+    EXPECT_EQ(values.count(), 2u);
+    std::string_view v;
+    EXPECT_TRUE(values.next(v));
+    EXPECT_EQ(v, "a");
+    values.rewind();
+    int n = 0;
+    while (values.next(v)) ++n;
+    EXPECT_EQ(n, 2);
+  });
+}
+
+TEST(KMVContainer, FixedValueHintPacksTightly) {
+  memtrack::Tracker tracker;
+  KMVContainer plain(tracker, 4096, KVHint::variable());
+  KMVContainer hinted(tracker, 4096, {KVHint::kString, 8});
+  const std::string value(8, 'v');
+  auto sp = plain.reserve("key", 4, 32);
+  auto sh = hinted.reserve("key", 4, 32);
+  for (int i = 0; i < 4; ++i) {
+    plain.add_value(sp, value);
+    hinted.add_value(sh, value);
+  }
+  EXPECT_LT(hinted.data_bytes(), plain.data_bytes());
+}
+
+TEST(KMVContainer, KeyOfReturnsStableView) {
+  memtrack::Tracker tracker;
+  KMVContainer kmvc(tracker, 256);
+  auto slot = kmvc.reserve("stable-key", 1, 1);
+  const std::string_view key = kmvc.key_of(slot);
+  kmvc.add_value(slot, "x");
+  // Force more pages; the original view must stay valid.
+  for (int i = 0; i < 10; ++i) {
+    auto s = kmvc.reserve("k" + std::to_string(i), 1, 50);
+    kmvc.add_value(s, std::string(50, 'y'));
+  }
+  EXPECT_EQ(key, "stable-key");
+}
+
+TEST(KMVContainer, ConsumeFreesEverything) {
+  memtrack::Tracker tracker;
+  KMVContainer kmvc(tracker, 128);
+  for (int i = 0; i < 30; ++i) {
+    auto slot = kmvc.reserve("k" + std::to_string(i), 1, 10);
+    kmvc.add_value(slot, std::string(10, 'z'));
+  }
+  int seen = 0;
+  kmvc.consume([&](std::string_view, ValueReader&) { ++seen; });
+  EXPECT_EQ(seen, 30);
+  EXPECT_EQ(tracker.current(), 0u);
+  EXPECT_TRUE(kmvc.empty());
+}
+
+TEST(KMVContainer, FixedHintViolationsRejected) {
+  memtrack::Tracker tracker;
+  KMVContainer kmvc(tracker, 256, KVHint::fixed(4, 8));
+  EXPECT_THROW(kmvc.reserve("toolong", 1, 8), mutil::UsageError);
+  auto slot = kmvc.reserve("four", 1, 8);
+  EXPECT_THROW(kmvc.add_value(slot, "tiny"), mutil::UsageError);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Property/fuzz tests: random KV streams through the full Mimir pipeline
+// must match a simple std::map reference, for every hint mode, random
+// binary payloads, and several rank counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mimir/mimir.hpp"
+#include "mutil/hash.hpp"
+#include "mutil/random.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using mimir::Emitter;
+using mimir::Job;
+using mimir::JobConfig;
+using mimir::KVHint;
+using mimir::KVView;
+using simmpi::Context;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  int ranks;
+  int key_mode;  // 0 = variable binary, 1 = string keys, 2 = fixed 8
+};
+
+std::string random_key(mutil::Xoshiro256& rng, int mode) {
+  switch (mode) {
+    case 1: {  // printable string key (NUL-free for the string hint)
+      const std::size_t len = 1 + rng.below(12);
+      std::string key(len, 'a');
+      for (auto& c : key) c = static_cast<char>('a' + rng.below(26));
+      return key;
+    }
+    case 2: {  // fixed 8-byte binary key
+      std::string key(8, '\0');
+      for (auto& c : key) c = static_cast<char>(rng.below(256));
+      return key;
+    }
+    default: {  // variable binary key (may contain NULs), non-empty
+      const std::size_t len = 1 + rng.below(20);
+      std::string key(len, '\0');
+      for (auto& c : key) c = static_cast<char>(rng.below(256));
+      return key;
+    }
+  }
+}
+
+std::string random_value(mutil::Xoshiro256& rng) {
+  const std::size_t len = rng.below(24);
+  std::string value(len, '\0');
+  for (auto& c : value) c = static_cast<char>(rng.below(256));
+  return value;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PipelineFuzz, MatchesMapReference) {
+  const FuzzCase fc = GetParam();
+  // Fixed pool of keys so duplicates occur; values random per emission.
+  mutil::Xoshiro256 keygen(fc.seed);
+  std::vector<std::string> pool;
+  std::set<std::string> pool_dedup;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = random_key(keygen, fc.key_mode);
+    if (pool_dedup.insert(key).second) pool.push_back(key);
+  }
+
+  // Reference: every rank r emits a deterministic stream.
+  constexpr int kPerRank = 500;
+  std::map<std::string, std::vector<std::string>> reference;
+  for (int r = 0; r < fc.ranks; ++r) {
+    mutil::Xoshiro256 rng(fc.seed * 1000 + static_cast<unsigned>(r));
+    for (int i = 0; i < kPerRank; ++i) {
+      const auto& key = pool[rng.below(pool.size())];
+      reference[key].push_back(random_value(rng));
+    }
+  }
+  // Reduce result: multiset digest of values per key.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> expected;
+  for (auto& [key, values] : reference) {
+    std::uint64_t digest = 0;
+    for (const auto& v : values) digest += mutil::hash_bytes(v);
+    expected[key] = {values.size(), digest};
+  }
+
+  KVHint hint;
+  if (fc.key_mode == 1) hint.key_len = KVHint::kString;
+  if (fc.key_mode == 2) hint.key_len = 8;
+
+  simmpi::run_test(fc.ranks, [&](Context& ctx) {
+    JobConfig cfg;
+    cfg.page_size = 2048;
+    cfg.comm_buffer = 2048;
+    cfg.hint = hint;
+    Job job(ctx, cfg);
+    job.map_custom([&](Emitter& out) {
+      mutil::Xoshiro256 rng(fc.seed * 1000 +
+                            static_cast<unsigned>(ctx.rank()));
+      for (int i = 0; i < kPerRank; ++i) {
+        const auto& key = pool[rng.below(pool.size())];
+        out.emit(key, random_value(rng));
+      }
+    });
+    job.reduce([](std::string_view key, mimir::ValueReader& values,
+                  Emitter& out) {
+      std::uint64_t digest = 0;
+      std::uint64_t count = 0;
+      std::string_view v;
+      while (values.next(v)) {
+        digest += mutil::hash_bytes(v);
+        ++count;
+      }
+      std::string packed(16, '\0');
+      std::memcpy(packed.data(), &count, 8);
+      std::memcpy(packed.data() + 8, &digest, 8);
+      out.emit(key, packed);
+    });
+
+    // Collect per-rank results and verify against the reference.
+    std::uint64_t seen = 0;
+    job.output().scan([&](const KVView& kv) {
+      const auto it = expected.find(std::string(kv.key));
+      ASSERT_NE(it, expected.end()) << "unexpected key in output";
+      std::uint64_t count = 0, digest = 0;
+      std::memcpy(&count, kv.value.data(), 8);
+      std::memcpy(&digest, kv.value.data() + 8, 8);
+      EXPECT_EQ(count, it->second.first);
+      EXPECT_EQ(digest, it->second.second);
+      ++seen;
+    });
+    const auto total = ctx.comm.allreduce_u64(seen, simmpi::Op::kSum);
+    EXPECT_EQ(total, expected.size()) << "every key reduced exactly once";
+  });
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    for (const int ranks : {1, 4}) {
+      for (const int mode : {0, 1, 2}) {
+        cases.push_back({seed, ranks, mode});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, PipelineFuzz, ::testing::ValuesIn(fuzz_cases()),
+    [](const auto& param_info) {
+      const FuzzCase& fc = param_info.param;
+      return "seed" + std::to_string(fc.seed) + "_p" +
+             std::to_string(fc.ranks) + "_mode" +
+             std::to_string(fc.key_mode);
+    });
+
+TEST(PipelineDeterminism, IdenticalRunsProduceIdenticalStats) {
+  auto machine = simtime::MachineProfile::comet_sim();
+  machine.ranks_per_node = 4;
+  double times[2];
+  std::uint64_t peaks[2], shuffled[2];
+  for (int round = 0; round < 2; ++round) {
+    pfs::FileSystem fs(machine, 4);
+    const auto stats = simmpi::run(4, machine, fs, [](Context& ctx) {
+      Job job(ctx, {});
+      job.map_custom([&](Emitter& out) {
+        for (int i = 0; i < 1000; ++i) {
+          out.emit("key" + std::to_string((i * 7 + ctx.rank()) % 50),
+                   std::uint64_t{1});
+        }
+      });
+      job.reduce([](std::string_view key, mimir::ValueReader& values,
+                    Emitter& out) {
+        std::uint64_t total = 0;
+        std::string_view v;
+        while (values.next(v)) total += mimir::as_u64(v);
+        out.emit(key, total);
+      });
+    });
+    times[round] = stats.sim_time;
+    peaks[round] = stats.node_peak;
+    shuffled[round] = stats.shuffle_bytes;
+  }
+  EXPECT_EQ(times[0], times[1]) << "simulated time must be deterministic";
+  EXPECT_EQ(peaks[0], peaks[1]);
+  EXPECT_EQ(shuffled[0], shuffled[1]);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "mimir/containers.hpp"
+#include "mimir/convert.hpp"
+#include "mimir/shuffle.hpp"
+#include "mutil/hash.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using mimir::KVContainer;
+using mimir::KVView;
+using mimir::Shuffle;
+using simmpi::Context;
+
+TEST(Shuffle, RoutesEveryKeyToItsHashOwner) {
+  constexpr int kRanks = 4;
+  simmpi::run_test(kRanks, [](Context& ctx) {
+    KVContainer dest(ctx.tracker, 4096);
+    Shuffle shuffle(ctx, 4096, {}, dest);
+    for (int i = 0; i < 200; ++i) {
+      shuffle.emit("key" + std::to_string(i), "v");
+    }
+    shuffle.finalize();
+    // Every received key must hash to this rank.
+    dest.scan([&](const KVView& kv) {
+      EXPECT_EQ(mutil::hash_bytes(kv.key) %
+                    static_cast<std::uint64_t>(ctx.size()),
+                static_cast<std::uint64_t>(ctx.rank()));
+    });
+    // Total across ranks preserved.
+    const auto total = ctx.comm.allreduce_u64(dest.num_kvs(),
+                                              simmpi::Op::kSum);
+    EXPECT_EQ(total, 200u * kRanks);
+  });
+}
+
+TEST(Shuffle, SmallBufferForcesManyRounds) {
+  simmpi::run_test(2, [](Context& ctx) {
+    KVContainer dest(ctx.tracker, 4096);
+    // 64-byte buffer -> 32-byte partitions: a few KVs per round.
+    Shuffle shuffle(ctx, 64, {}, dest);
+    for (int i = 0; i < 100; ++i) {
+      shuffle.emit("k" + std::to_string(i), "value");
+    }
+    shuffle.finalize();
+    EXPECT_GT(shuffle.rounds(), 5u);
+    const auto total = ctx.comm.allreduce_u64(dest.num_kvs(),
+                                              simmpi::Op::kSum);
+    EXPECT_EQ(total, 200u);
+  });
+}
+
+TEST(Shuffle, ImbalancedProducersStillTerminate) {
+  // Only rank 0 produces; everyone else must keep participating in the
+  // exchange protocol until rank 0 drains.
+  simmpi::run_test(3, [](Context& ctx) {
+    KVContainer dest(ctx.tracker, 4096);
+    Shuffle shuffle(ctx, 96, {}, dest);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 300; ++i) {
+        shuffle.emit("key" + std::to_string(i), "v");
+      }
+    }
+    shuffle.finalize();
+    const auto total = ctx.comm.allreduce_u64(dest.num_kvs(),
+                                              simmpi::Op::kSum);
+    EXPECT_EQ(total, 300u);
+  });
+}
+
+TEST(Shuffle, SkewedKeysNeverOverflowReceiveBuffer) {
+  // All KVs share one key -> one rank receives everything. The paper's
+  // §III-B argues the receive buffer still never overflows because each
+  // sender is bounded by its partition size.
+  simmpi::run_test(4, [](Context& ctx) {
+    KVContainer dest(ctx.tracker, 4096);
+    Shuffle shuffle(ctx, 256, {}, dest);
+    for (int i = 0; i < 200; ++i) {
+      shuffle.emit("hot", "xxxxxxxx");
+    }
+    shuffle.finalize();
+    const auto total = ctx.comm.allreduce_u64(dest.num_kvs(),
+                                              simmpi::Op::kSum);
+    EXPECT_EQ(total, 800u);
+    const auto mine = dest.num_kvs();
+    EXPECT_TRUE(mine == 0 || mine == 800u);
+  });
+}
+
+TEST(Shuffle, OversizedKvRejected) {
+  EXPECT_THROW(
+      simmpi::run_test(2,
+                       [](Context& ctx) {
+                         KVContainer dest(ctx.tracker, 4096);
+                         Shuffle shuffle(ctx, 64, {}, dest);
+                         shuffle.emit("key", std::string(100, 'x'));
+                       }),
+      mutil::UsageError);
+}
+
+TEST(Shuffle, EmitAfterFinalizeRejected) {
+  EXPECT_THROW(simmpi::run_test(1,
+                                [](Context& ctx) {
+                                  KVContainer dest(ctx.tracker, 4096);
+                                  Shuffle shuffle(ctx, 64, {}, dest);
+                                  shuffle.finalize();
+                                  shuffle.emit("k", "v");
+                                }),
+               mutil::UsageError);
+}
+
+TEST(Convert, GroupsValuesByKey) {
+  simmpi::run_test(1, [](Context& ctx) {
+    KVContainer kvc(ctx.tracker, 4096);
+    kvc.append("a", "1");
+    kvc.append("b", "2");
+    kvc.append("a", "3");
+    kvc.append("c", "4");
+    kvc.append("a", "5");
+    mimir::ConvertStats stats;
+    auto kmvc = mimir::convert(ctx, kvc, 4096, &stats);
+    EXPECT_EQ(stats.input_kvs, 5u);
+    EXPECT_EQ(stats.unique_keys, 3u);
+    EXPECT_TRUE(kvc.empty()) << "convert consumes its input";
+
+    std::map<std::string, std::string> joined;
+    kmvc.for_each([&](std::string_view key, mimir::ValueReader& values) {
+      std::string acc;
+      std::string_view v;
+      while (values.next(v)) acc.append(v);
+      joined[std::string(key)] = acc;
+    });
+    EXPECT_EQ(joined.at("a"), "135");
+    EXPECT_EQ(joined.at("b"), "2");
+    EXPECT_EQ(joined.at("c"), "4");
+  });
+}
+
+TEST(Convert, ManyKeysSurviveRehash) {
+  simmpi::run_test(1, [](Context& ctx) {
+    KVContainer kvc(ctx.tracker, 1 << 16);
+    constexpr int kKeys = 4000;  // > initial index capacity
+    for (int pass = 0; pass < 3; ++pass) {
+      for (int i = 0; i < kKeys; ++i) {
+        kvc.append("key" + std::to_string(i), "v" + std::to_string(pass));
+      }
+    }
+    mimir::ConvertStats stats;
+    auto kmvc = mimir::convert(ctx, kvc, 1 << 16, &stats);
+    EXPECT_EQ(stats.unique_keys, static_cast<std::uint64_t>(kKeys));
+    kmvc.for_each([&](std::string_view, mimir::ValueReader& values) {
+      EXPECT_EQ(values.count(), 3u);
+    });
+  });
+}
+
+TEST(Convert, PreservesPerKeyValueOrderWithinRank) {
+  simmpi::run_test(1, [](Context& ctx) {
+    KVContainer kvc(ctx.tracker, 4096);
+    for (int i = 0; i < 10; ++i) {
+      kvc.append("k", std::to_string(i));
+    }
+    auto kmvc = mimir::convert(ctx, kvc, 4096);
+    kmvc.for_each([&](std::string_view, mimir::ValueReader& values) {
+      std::string_view v;
+      int expected = 0;
+      while (values.next(v)) {
+        EXPECT_EQ(v, std::to_string(expected++));
+      }
+      EXPECT_EQ(expected, 10);
+    });
+  });
+}
+
+TEST(Convert, EmptyInputYieldsEmptyOutput) {
+  simmpi::run_test(1, [](Context& ctx) {
+    KVContainer kvc(ctx.tracker, 4096);
+    mimir::ConvertStats stats;
+    auto kmvc = mimir::convert(ctx, kvc, 4096, &stats);
+    EXPECT_EQ(stats.unique_keys, 0u);
+    EXPECT_TRUE(kmvc.empty());
+  });
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "mimir/typed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using mimir::Emitter;
+using mimir::Job;
+using mimir::JobConfig;
+using mimir::Typed;
+using simmpi::Context;
+
+struct Point3 {
+  float x, y, z;
+};
+
+TEST(Typed, ViewRoundTripsPods) {
+  const std::uint64_t u = 0xdeadbeefcafef00dULL;
+  EXPECT_EQ(mimir::from_view<std::uint64_t>(mimir::view_of(u)), u);
+  const double d = 3.14159;
+  EXPECT_EQ(mimir::from_view<double>(mimir::view_of(d)), d);
+  const Point3 p{1.5f, -2.5f, 0.0f};
+  const Point3 q = mimir::from_view<Point3>(mimir::view_of(p));
+  EXPECT_EQ(q.x, p.x);
+  EXPECT_EQ(q.y, p.y);
+  EXPECT_EQ(q.z, p.z);
+}
+
+TEST(Typed, HintMatchesSizes) {
+  constexpr auto hint = Typed<std::uint64_t, Point3>::hint();
+  EXPECT_EQ(hint.key_len, 8);
+  EXPECT_EQ(hint.value_len, 12);
+}
+
+TEST(Typed, EndToEndSumPipeline) {
+  using Pair = Typed<std::uint32_t, std::uint64_t>;
+  simmpi::run_test(3, [](Context& ctx) {
+    JobConfig cfg;
+    cfg.hint = Pair::hint();
+    Job job(ctx, cfg);
+    job.map_custom([&](Emitter& out) {
+      for (std::uint32_t i = 0; i < 300; ++i) {
+        Pair::emit(out, i % 10, std::uint64_t{1});
+      }
+    });
+    job.reduce([](std::string_view key, mimir::ValueReader& values,
+                  Emitter& out) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t v : Pair::values(values)) total += v;
+      Pair::emit(out, Pair::key(key), total);
+    });
+
+    std::map<std::uint32_t, std::uint64_t> counts;
+    Pair::scan(job.output(), [&](std::uint32_t k, std::uint64_t v) {
+      counts[k] = v;
+    });
+    std::uint64_t local = 0;
+    for (const auto& [k, v] : counts) local += v;
+    EXPECT_EQ(ctx.comm.allreduce_u64(local, simmpi::Op::kSum),
+              300u * 3);
+  });
+}
+
+TEST(Typed, ValueRangeIsSinglePassAndComplete) {
+  memtrack::Tracker tracker;
+  mimir::KMVContainer kmvc(tracker, 1024,
+                           Typed<std::uint64_t, std::uint32_t>::hint());
+  auto slot = kmvc.reserve(mimir::view_of(std::uint64_t{5}), 4, 16);
+  for (std::uint32_t v = 10; v < 14; ++v) {
+    kmvc.add_value(slot, mimir::view_of(v));
+  }
+  kmvc.for_each([](std::string_view, mimir::ValueReader& values) {
+    std::uint32_t expected = 10;
+    for (const std::uint32_t v :
+         mimir::TypedValueRange<std::uint32_t>(values)) {
+      EXPECT_EQ(v, expected++);
+    }
+    EXPECT_EQ(expected, 14u);
+  });
+}
+
+TEST(Typed, StructValuesSurviveShuffle) {
+  using Pair = Typed<std::uint64_t, Point3>;
+  simmpi::run_test(2, [](Context& ctx) {
+    JobConfig cfg;
+    cfg.hint = Pair::hint();
+    Job job(ctx, cfg);
+    job.map_custom([&](Emitter& out) {
+      for (int i = 0; i < 50; ++i) {
+        Pair::emit(out, static_cast<std::uint64_t>(i),
+                   Point3{static_cast<float>(i), 2.0f * i, -1.0f});
+      }
+    });
+    std::uint64_t seen = 0;
+    Pair::scan(job.intermediate(), [&](std::uint64_t k, const Point3& p) {
+      EXPECT_EQ(p.x, static_cast<float>(k));
+      EXPECT_EQ(p.y, 2.0f * k);
+      ++seen;
+    });
+    // Two producing ranks emitted each key once.
+    EXPECT_EQ(ctx.comm.allreduce_u64(seen, simmpi::Op::kSum), 100u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include "memtrack/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+TEST(NodeBudget, TracksCurrentAndPeak) {
+  memtrack::NodeBudget node;
+  node.charge(100);
+  node.charge(50);
+  EXPECT_EQ(node.current(), 150u);
+  EXPECT_EQ(node.peak(), 150u);
+  node.release(120);
+  EXPECT_EQ(node.current(), 30u);
+  EXPECT_EQ(node.peak(), 150u);
+  node.charge(10);
+  EXPECT_EQ(node.peak(), 150u);  // below the previous high-water mark
+}
+
+TEST(NodeBudget, EnforcesLimit) {
+  memtrack::NodeBudget node(1000);
+  node.charge(900);
+  EXPECT_THROW(node.charge(200), mutil::OutOfMemoryError);
+  // Failed charge must be rolled back.
+  EXPECT_EQ(node.current(), 900u);
+  node.charge(100);  // exactly at the limit is fine
+  EXPECT_EQ(node.current(), 1000u);
+}
+
+TEST(NodeBudget, OomCarriesDetails) {
+  memtrack::NodeBudget node(10);
+  try {
+    node.charge(64);
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const mutil::OutOfMemoryError& e) {
+    EXPECT_EQ(e.requested(), 64u);
+    EXPECT_EQ(e.limit(), 10u);
+  }
+}
+
+TEST(NodeBudget, ResetPeak) {
+  memtrack::NodeBudget node;
+  node.charge(500);
+  node.release(400);
+  node.reset_peak();
+  EXPECT_EQ(node.peak(), 100u);
+}
+
+TEST(NodeBudget, ConcurrentChargesAreExact) {
+  memtrack::NodeBudget node;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        node.charge(3);
+        node.release(3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(node.current(), 0u);
+  EXPECT_GE(node.peak(), 3u);
+  EXPECT_LE(node.peak(), 3u * kThreads);
+}
+
+TEST(Tracker, ForwardsToNode) {
+  memtrack::NodeBudget node(1024);
+  memtrack::Tracker a(&node), b(&node);
+  a.allocate(600);
+  EXPECT_THROW(b.allocate(600), mutil::OutOfMemoryError);
+  EXPECT_EQ(b.current(), 0u) << "failed allocation must not charge rank";
+  b.allocate(400);
+  EXPECT_EQ(node.current(), 1000u);
+  a.release(600);
+  b.release(400);
+  EXPECT_EQ(node.current(), 0u);
+  EXPECT_EQ(a.peak(), 600u);
+  EXPECT_EQ(b.peak(), 400u);
+}
+
+TEST(Tracker, StandaloneWorksWithoutNode) {
+  memtrack::Tracker t;
+  t.allocate(128);
+  EXPECT_EQ(t.current(), 128u);
+  EXPECT_EQ(t.peak(), 128u);
+  t.release(128);
+  EXPECT_EQ(t.current(), 0u);
+}
+
+TEST(TrackedBuffer, RaiiChargesAndReleases) {
+  memtrack::Tracker t;
+  {
+    memtrack::TrackedBuffer buf(t, 256);
+    EXPECT_EQ(t.current(), 256u);
+    EXPECT_EQ(buf.size(), 256u);
+    EXPECT_NE(buf.data(), nullptr);
+  }
+  EXPECT_EQ(t.current(), 0u);
+  EXPECT_EQ(t.peak(), 256u);
+}
+
+TEST(TrackedBuffer, MoveTransfersOwnership) {
+  memtrack::Tracker t;
+  memtrack::TrackedBuffer a(t, 100);
+  memtrack::TrackedBuffer b = std::move(a);
+  EXPECT_EQ(t.current(), 100u);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): moved-from probe
+  b.reset();
+  EXPECT_EQ(t.current(), 0u);
+}
+
+TEST(TrackedBuffer, MoveAssignReleasesOld) {
+  memtrack::Tracker t;
+  memtrack::TrackedBuffer a(t, 100);
+  memtrack::TrackedBuffer b(t, 50);
+  EXPECT_EQ(t.current(), 150u);
+  b = std::move(a);
+  EXPECT_EQ(t.current(), 100u);
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(TrackedBuffer, FailedAllocationChargesNothing) {
+  memtrack::NodeBudget node(64);
+  memtrack::Tracker t(&node);
+  EXPECT_THROW(memtrack::TrackedBuffer(t, 128), mutil::OutOfMemoryError);
+  EXPECT_EQ(t.current(), 0u);
+  EXPECT_EQ(node.current(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include "mrmpi/paged_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+using mrmpi::OocMode;
+using mrmpi::PagedData;
+
+std::span<const std::byte> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string collect(const PagedData& store) {
+  std::string out;
+  store.stream([&](std::span<const std::byte> segment) {
+    out.append(reinterpret_cast<const char*>(segment.data()),
+               segment.size());
+  });
+  return out;
+}
+
+TEST(PagedData, PageChargedUpFront) {
+  simmpi::run_test(1, [](simmpi::Context& ctx) {
+    const auto before = ctx.tracker.current();
+    PagedData store(ctx, "t/a", 4096, OocMode::kSpill);
+    EXPECT_EQ(ctx.tracker.current(), before + 4096)
+        << "MR-MPI allocates the full page immediately";
+  });
+}
+
+TEST(PagedData, InMemoryRoundTrip) {
+  simmpi::run_test(1, [](simmpi::Context& ctx) {
+    PagedData store(ctx, "t/a", 4096, OocMode::kSpill);
+    store.append(as_bytes("hello"));
+    store.append(as_bytes("world"));
+    store.freeze();
+    EXPECT_FALSE(store.spilled());
+    EXPECT_EQ(store.num_records(), 2u);
+    EXPECT_EQ(collect(store), "helloworld");
+  });
+}
+
+TEST(PagedData, SpillsWhenPageOverflows) {
+  simmpi::run_test(1, [](simmpi::Context& ctx) {
+    PagedData store(ctx, "t/spill", 64, OocMode::kSpill);
+    std::string all;
+    for (int i = 0; i < 20; ++i) {
+      const std::string rec = "record" + std::to_string(i) + ";";
+      store.append(as_bytes(rec));
+      all += rec;
+    }
+    store.freeze();
+    EXPECT_TRUE(store.spilled());
+    EXPECT_EQ(collect(store), all);
+    // Memory stays at exactly one page regardless of data volume.
+    EXPECT_EQ(ctx.tracker.current(), 64u);
+  });
+}
+
+TEST(PagedData, AlwaysModePutsEverythingOnDisk) {
+  simmpi::run_test(1, [](simmpi::Context& ctx) {
+    PagedData store(ctx, "t/always", 4096, OocMode::kAlways);
+    store.append(as_bytes("abc"));
+    store.freeze();
+    EXPECT_TRUE(store.spilled());
+    EXPECT_EQ(store.spilled_bytes(), 3u);
+    EXPECT_EQ(collect(store), "abc");
+  });
+}
+
+TEST(PagedData, ErrorModeRefusesToSpill) {
+  EXPECT_THROW(
+      simmpi::run_test(1,
+                       [](simmpi::Context& ctx) {
+                         PagedData store(ctx, "t/err", 32, OocMode::kError);
+                         for (int i = 0; i < 10; ++i) {
+                           store.append(as_bytes("0123456789"));
+                         }
+                       }),
+      mutil::UsageError);
+}
+
+TEST(PagedData, RecordLargerThanPageAlwaysRejected) {
+  EXPECT_THROW(
+      simmpi::run_test(1,
+                       [](simmpi::Context& ctx) {
+                         PagedData store(ctx, "t/big", 16, OocMode::kSpill);
+                         store.append(as_bytes(std::string(100, 'x')));
+                       }),
+      mutil::UsageError);
+}
+
+TEST(PagedData, StreamChargesPfsCostForSpilledData) {
+  auto machine = simtime::MachineProfile::test_profile();
+  machine.pfs_latency = 0.01;
+  machine.pfs_bandwidth = 1e6;
+  pfs::FileSystem fs(machine, 1);
+  simmpi::run(1, machine, fs, [](simmpi::Context& ctx) {
+    PagedData store(ctx, "t/cost", 64, OocMode::kSpill);
+    for (int i = 0; i < 30; ++i) store.append(as_bytes("0123456789"));
+    store.freeze();
+    const double before = ctx.clock().now();
+    (void)collect(store);
+    EXPECT_GT(ctx.clock().now(), before + 0.01)
+        << "re-reading spilled segments must pay PFS latency";
+  });
+}
+
+TEST(PagedData, RepeatedStreamsReReadSpill) {
+  auto machine = simtime::MachineProfile::test_profile();
+  machine.pfs_latency = 0.0;
+  machine.pfs_bandwidth = 1e3;
+  pfs::FileSystem fs(machine, 1);
+  simmpi::run(1, machine, fs, [](simmpi::Context& ctx) {
+    PagedData store(ctx, "t/rr", 64, OocMode::kSpill);
+    for (int i = 0; i < 30; ++i) store.append(as_bytes("0123456789"));
+    store.freeze();
+    const double t0 = ctx.clock().now();
+    (void)collect(store);
+    const double first_read = ctx.clock().now() - t0;
+    const double t1 = ctx.clock().now();
+    (void)collect(store);
+    const double second_read = ctx.clock().now() - t1;
+    EXPECT_GT(first_read, 0.0);
+    EXPECT_NEAR(second_read, first_read, first_read * 0.01)
+        << "every pass over spilled data costs the same I/O again";
+  });
+}
+
+TEST(PagedData, ClearRemovesSpillFileAndMemory) {
+  simmpi::run_test(1, [](simmpi::Context& ctx) {
+    PagedData store(ctx, "t/clear", 32, OocMode::kSpill);
+    for (int i = 0; i < 10; ++i) store.append(as_bytes("0123456789"));
+    EXPECT_TRUE(ctx.fs.exists("t/clear"));
+    store.clear();
+    EXPECT_FALSE(ctx.fs.exists("t/clear"));
+    EXPECT_EQ(ctx.tracker.current(), 0u);
+  });
+}
+
+TEST(PagedData, AppendAfterFreezeRejected) {
+  EXPECT_THROW(
+      simmpi::run_test(1,
+                       [](simmpi::Context& ctx) {
+                         PagedData store(ctx, "t/fr", 64, OocMode::kSpill);
+                         store.freeze();
+                         store.append(as_bytes("x"));
+                       }),
+      mutil::UsageError);
+}
+
+}  // namespace

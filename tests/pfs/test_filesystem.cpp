@@ -1,0 +1,152 @@
+#include "pfs/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+simtime::MachineProfile profile_with(double latency, double bandwidth) {
+  auto p = simtime::MachineProfile::test_profile();
+  p.pfs_latency = latency;
+  p.pfs_bandwidth = bandwidth;
+  return p;
+}
+
+std::span<const std::byte> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string to_string(const std::vector<std::byte>& v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+TEST(Pfs, WriteThenReadRoundTrips) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("input/a.txt", "hello pfs", clock);
+  EXPECT_TRUE(fs.exists("input/a.txt"));
+  EXPECT_EQ(fs.file_size("input/a.txt"), 9u);
+  EXPECT_EQ(to_string(fs.read_file("input/a.txt", clock)), "hello pfs");
+}
+
+TEST(Pfs, OpenMissingThrows) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  EXPECT_THROW(fs.open("nope"), mutil::IoError);
+  EXPECT_THROW(fs.file_size("nope"), mutil::IoError);
+}
+
+TEST(Pfs, CreateTruncates) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("f", "0123456789", clock);
+  fs.write_file("f", "xy", clock);
+  EXPECT_EQ(fs.file_size("f"), 2u);
+}
+
+TEST(Pfs, AppendAcrossWrites) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  auto w = fs.create("log");
+  w.write("one,", clock);
+  w.write("two", clock);
+  EXPECT_EQ(w.bytes_written(), 7u);
+  EXPECT_EQ(to_string(fs.read_file("log", clock)), "one,two");
+}
+
+TEST(Pfs, PartialReadsAndSeek) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("f", "abcdefgh", clock);
+  auto r = fs.open("f");
+  std::byte buf[3];
+  EXPECT_EQ(r.read(buf, clock), 3u);
+  EXPECT_EQ(static_cast<char>(buf[0]), 'a');
+  EXPECT_EQ(r.tell(), 3u);
+  r.seek(6);
+  EXPECT_EQ(r.read(buf, clock), 2u);
+  EXPECT_EQ(static_cast<char>(buf[0]), 'g');
+  EXPECT_EQ(r.read(buf, clock), 0u) << "read at EOF returns 0";
+}
+
+TEST(Pfs, RemoveAndList) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("spill/r0.dat", "x", clock);
+  fs.write_file("spill/r1.dat", "y", clock);
+  fs.write_file("input/a", "z", clock);
+  const auto spills = fs.list("spill/");
+  ASSERT_EQ(spills.size(), 2u);
+  EXPECT_EQ(spills[0], "spill/r0.dat");
+  fs.remove("spill/r0.dat");
+  EXPECT_FALSE(fs.exists("spill/r0.dat"));
+  EXPECT_EQ(fs.list("").size(), 2u);
+}
+
+TEST(Pfs, CostModelChargesLatencyPlusBytes) {
+  // latency 1 ms, bandwidth 1 MB/s, 4 clients -> contention factor 4.
+  pfs::FileSystem fs(profile_with(1e-3, 1e6), 4);
+  EXPECT_DOUBLE_EQ(fs.cost(0), 1e-3);
+  EXPECT_DOUBLE_EQ(fs.cost(1000), 1e-3 + 1000.0 * 4 / 1e6);
+  simtime::Clock clock;
+  fs.write_file("f", "0123456789", clock);
+  EXPECT_DOUBLE_EQ(clock.now(), fs.cost(10));
+}
+
+TEST(Pfs, MoreClientsMeanSlowerIo) {
+  pfs::FileSystem small(profile_with(0, 1e6), 2);
+  pfs::FileSystem big(profile_with(0, 1e6), 64);
+  EXPECT_LT(small.cost(4096), big.cost(4096));
+}
+
+TEST(Pfs, ClientLinkCapsNarrowJobs) {
+  // A narrow job cannot exceed its per-client link even when the
+  // backend has plenty of headroom; a wide one contends for the backend.
+  auto prof = profile_with(0, 1e6);
+  prof.pfs_client_bandwidth = 1e4;
+  pfs::FileSystem narrow(prof, 2);   // backend share 5e5 > client 1e4
+  pfs::FileSystem wide(prof, 1000);  // backend share 1e3 < client 1e4
+  EXPECT_DOUBLE_EQ(narrow.cost(1000), 1000.0 / 1e4);
+  EXPECT_DOUBLE_EQ(wide.cost(1000), 1000.0 / 1e3);
+}
+
+TEST(Pfs, StatsAccumulate) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("f", "0123456789", clock);
+  (void)fs.read_file("f", clock);
+  const auto stats = fs.stats();
+  EXPECT_EQ(stats.bytes_written, 10u);
+  EXPECT_EQ(stats.bytes_read, 10u);
+  EXPECT_EQ(stats.write_ops, 1u);
+  EXPECT_EQ(stats.read_ops, 1u);
+}
+
+TEST(Pfs, ConcurrentWritersToDistinctFiles) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 8);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fs, t] {
+      simtime::Clock clock;
+      const std::string payload(1000, static_cast<char>('a' + t));
+      auto w = fs.create("spill/rank" + std::to_string(t));
+      for (int i = 0; i < 10; ++i) w.write(as_bytes(payload), clock);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(fs.file_size("spill/rank" + std::to_string(t)), 10000u);
+  }
+  EXPECT_EQ(fs.stats().bytes_written, 80000u);
+}
+
+TEST(Pfs, RejectsNonPositiveBandwidth) {
+  EXPECT_THROW(pfs::FileSystem(profile_with(0, 0), 1), mutil::ConfigError);
+}
+
+}  // namespace

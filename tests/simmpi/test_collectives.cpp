@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mutil/error.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using simmpi::Context;
+using simmpi::Op;
+
+// Parameterized over rank counts, including non-powers of two.
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, BarrierSynchronizesClocks) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    // Each rank starts with a different local time; barrier must bring
+    // everyone to at least the max.
+    ctx.clock().advance(ctx.rank() * 1.0);
+    ctx.comm.barrier();
+    EXPECT_GE(ctx.clock().now(), ctx.size() - 1.0);
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceSumMaxMin) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const int r = ctx.rank();
+    const int n = ctx.size();
+    EXPECT_EQ(ctx.comm.allreduce_i64(r, Op::kSum),
+              static_cast<std::int64_t>(n) * (n - 1) / 2);
+    EXPECT_EQ(ctx.comm.allreduce_i64(r, Op::kMax), n - 1);
+    EXPECT_EQ(ctx.comm.allreduce_i64(r - 5, Op::kMin), -5);
+    EXPECT_DOUBLE_EQ(ctx.comm.allreduce_f64(0.5, Op::kSum), 0.5 * n);
+    EXPECT_EQ(ctx.comm.allreduce_u64(r + 1, Op::kMax),
+              static_cast<std::uint64_t>(n));
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceLogicalOps) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const bool only_last = ctx.rank() == ctx.size() - 1;
+    EXPECT_TRUE(ctx.comm.allreduce_lor(only_last));
+    EXPECT_FALSE(ctx.comm.allreduce_lor(false));
+    EXPECT_FALSE(ctx.comm.allreduce_land(only_last) && ctx.size() > 1);
+    EXPECT_TRUE(ctx.comm.allreduce_land(true));
+  });
+}
+
+TEST_P(CollectiveTest, AllgatherCollectsInRankOrder) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const auto values = ctx.comm.allgather_i64(ctx.rank() * 10);
+    ASSERT_EQ(values.size(), static_cast<std::size_t>(ctx.size()));
+    for (int i = 0; i < ctx.size(); ++i) {
+      EXPECT_EQ(values[static_cast<std::size_t>(i)], i * 10);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, BcastDistributesRootValue) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const int root = ctx.size() - 1;
+    EXPECT_EQ(ctx.comm.bcast_u64(ctx.rank() == root ? 777u : 0u, root),
+              777u);
+    std::vector<std::byte> buf(16);
+    if (ctx.rank() == root) {
+      std::memset(buf.data(), 0x5a, buf.size());
+    }
+    ctx.comm.bcast(buf, root);
+    for (const auto b : buf) {
+      EXPECT_EQ(static_cast<unsigned char>(b), 0x5a);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallU64Transposes) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const int r = ctx.rank();
+    const int n = ctx.size();
+    // values[d] = r * 100 + d; after exchange, result[s] = s * 100 + r.
+    std::vector<std::uint64_t> values(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      values[static_cast<std::size_t>(d)] =
+          static_cast<std::uint64_t>(r * 100 + d);
+    }
+    const auto result = ctx.comm.alltoall_u64(values);
+    ASSERT_EQ(result.size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(result[static_cast<std::size_t>(s)],
+                static_cast<std::uint64_t>(s * 100 + r));
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvMovesVariableBlocks) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const int r = ctx.rank();
+    const int n = ctx.size();
+    // Rank r sends (d + 1) copies of byte value r to rank d.
+    std::vector<std::uint64_t> send_counts(static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> send_displs(static_cast<std::size_t>(n));
+    std::uint64_t total = 0;
+    for (int d = 0; d < n; ++d) {
+      send_displs[static_cast<std::size_t>(d)] = total;
+      send_counts[static_cast<std::size_t>(d)] =
+          static_cast<std::uint64_t>(d + 1);
+      total += static_cast<std::uint64_t>(d + 1);
+    }
+    std::vector<std::byte> send(total, static_cast<std::byte>(r));
+
+    const auto recv_counts = ctx.comm.alltoall_u64(send_counts);
+    std::vector<std::uint64_t> recv_displs(static_cast<std::size_t>(n));
+    std::uint64_t recv_total = 0;
+    for (int s = 0; s < n; ++s) {
+      recv_displs[static_cast<std::size_t>(s)] = recv_total;
+      recv_total += recv_counts[static_cast<std::size_t>(s)];
+    }
+    // Everyone sends me (r + 1) bytes.
+    EXPECT_EQ(recv_total, static_cast<std::uint64_t>(n) * (r + 1));
+    std::vector<std::byte> recv(recv_total);
+    ctx.comm.alltoallv(send, send_counts, send_displs, recv, recv_counts,
+                       recv_displs);
+    for (int s = 0; s < n; ++s) {
+      for (std::uint64_t i = 0; i < recv_counts[static_cast<std::size_t>(s)];
+           ++i) {
+        EXPECT_EQ(static_cast<int>(
+                      recv[recv_displs[static_cast<std::size_t>(s)] + i]),
+                  s);
+      }
+    }
+    EXPECT_GE(ctx.comm.stats().bytes_sent, total);
+  });
+}
+
+TEST_P(CollectiveTest, GathervConcatenatesAtRoot) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    const std::string mine(static_cast<std::size_t>(ctx.rank() + 1),
+                           static_cast<char>('a' + ctx.rank() % 26));
+    const auto result = ctx.comm.gatherv(
+        0, std::span<const std::byte>(
+               reinterpret_cast<const std::byte*>(mine.data()), mine.size()));
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(result.counts.size(), static_cast<std::size_t>(ctx.size()));
+      std::uint64_t offset = 0;
+      for (int s = 0; s < ctx.size(); ++s) {
+        EXPECT_EQ(result.counts[static_cast<std::size_t>(s)],
+                  static_cast<std::uint64_t>(s + 1));
+        for (std::uint64_t i = 0; i < result.counts[static_cast<std::size_t>(s)]; ++i) {
+          EXPECT_EQ(static_cast<char>(result.data[offset + i]),
+                    static_cast<char>('a' + s % 26));
+        }
+        offset += result.counts[static_cast<std::size_t>(s)];
+      }
+    } else {
+      EXPECT_TRUE(result.data.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, RepeatedCollectivesStaySound) {
+  const int p = GetParam();
+  simmpi::run_test(p, [](Context& ctx) {
+    // Stress generation handling: many back-to-back collectives.
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(ctx.comm.allreduce_i64(1, Op::kSum), ctx.size());
+      ctx.comm.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 16));
+
+TEST(CollectiveErrors, AlltoallvChecksBounds) {
+  EXPECT_THROW(
+      simmpi::run_test(2,
+                       [](Context& ctx) {
+                         std::vector<std::byte> send(4), recv(4);
+                         std::vector<std::uint64_t> counts{8, 8};  // > size
+                         std::vector<std::uint64_t> displs{0, 0};
+                         ctx.comm.alltoallv(send, counts, displs, recv,
+                                            counts, displs);
+                       }),
+      mutil::CommError);
+}
+
+TEST(CollectiveErrors, BadRootRejected) {
+  EXPECT_THROW(simmpi::run_test(
+                   2, [](Context& ctx) { ctx.comm.bcast_u64(1, 5); }),
+               mutil::CommError);
+}
+
+TEST(CollectiveClocks, AlltoallvChargesBytesOverBandwidth) {
+  auto machine = simtime::MachineProfile::test_profile();
+  machine.net_latency = 0.0;
+  machine.net_bandwidth = 1000.0;  // 1000 B/s for easy math
+  pfs::FileSystem fs(machine, 2);
+  simmpi::run(2, machine, fs, [](Context& ctx) {
+    std::vector<std::byte> send(2000), recv(2000);
+    std::vector<std::uint64_t> counts{1000, 1000};
+    std::vector<std::uint64_t> displs{0, 1000};
+    ctx.comm.alltoallv(send, counts, displs, recv, counts, displs);
+    // 2000 bytes at 1000 B/s = 2 simulated seconds.
+    EXPECT_DOUBLE_EQ(ctx.clock().now(), 2.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mutil/error.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using simmpi::Context;
+
+std::span<const std::byte> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string to_string(const std::vector<std::byte>& v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+TEST(P2P, SendRecvDeliversPayload) {
+  simmpi::run_test(2, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.comm.send(1, 7, as_bytes("ping"));
+    } else {
+      EXPECT_EQ(to_string(ctx.comm.recv(0, 7)), "ping");
+    }
+  });
+}
+
+TEST(P2P, TagsSelectMessages) {
+  simmpi::run_test(2, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.comm.send(1, 1, as_bytes("one"));
+      ctx.comm.send(1, 2, as_bytes("two"));
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(to_string(ctx.comm.recv(0, 2)), "two");
+      EXPECT_EQ(to_string(ctx.comm.recv(0, 1)), "one");
+    }
+  });
+}
+
+TEST(P2P, FifoPerSourceAndTag) {
+  simmpi::run_test(2, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        ctx.comm.send(1, 0, as_bytes("msg" + std::to_string(i)));
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(to_string(ctx.comm.recv(0, 0)), "msg" + std::to_string(i));
+      }
+    }
+  });
+}
+
+TEST(P2P, ManyToOne) {
+  constexpr int kRanks = 6;
+  simmpi::run_test(kRanks, [](Context& ctx) {
+    if (ctx.rank() != 0) {
+      ctx.comm.send(0, ctx.rank(), as_bytes(std::to_string(ctx.rank())));
+    } else {
+      for (int s = 1; s < ctx.size(); ++s) {
+        EXPECT_EQ(to_string(ctx.comm.recv(s, s)), std::to_string(s));
+      }
+    }
+  });
+}
+
+TEST(P2P, ReceiverClockSeesTransferTime) {
+  auto machine = simtime::MachineProfile::test_profile();
+  machine.net_latency = 0.25;
+  machine.net_bandwidth = 100.0;
+  pfs::FileSystem fs(machine, 2);
+  simmpi::run(2, machine, fs, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<std::byte> payload(50);  // 0.5 s at 100 B/s
+      ctx.comm.send(1, 0, payload);
+      EXPECT_DOUBLE_EQ(ctx.clock().now(), 0.75);
+    } else {
+      (void)ctx.comm.recv(0, 0);
+      EXPECT_GE(ctx.clock().now(), 0.75);
+    }
+  });
+}
+
+TEST(P2P, InvalidRanksRejected) {
+  EXPECT_THROW(simmpi::run_test(
+                   1, [](Context& ctx) { ctx.comm.send(3, 0, {}); }),
+               mutil::CommError);
+  EXPECT_THROW(simmpi::run_test(
+                   1, [](Context& ctx) { (void)ctx.comm.recv(-1, 0); }),
+               mutil::CommError);
+}
+
+TEST(P2P, EmptyPayloadAllowed) {
+  simmpi::run_test(2, [](Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.comm.send(1, 0, {});
+    } else {
+      EXPECT_TRUE(ctx.comm.recv(0, 0).empty());
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "simtime/clock.hpp"
+#include "simtime/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutil/config.hpp"
+#include "mutil/error.hpp"
+
+namespace {
+
+TEST(Clock, AdvanceAndSync) {
+  simtime::Clock c;
+  EXPECT_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  c.advance(0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  c.sync_to(1.0);  // behind: no change
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  c.sync_to(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+  c.reset();
+  EXPECT_EQ(c.now(), 0.0);
+}
+
+TEST(Machine, ProfilesExist) {
+  const auto comet = simtime::MachineProfile::comet_sim();
+  const auto mira = simtime::MachineProfile::mira_sim();
+  EXPECT_EQ(comet.ranks_per_node, 24);
+  EXPECT_EQ(mira.ranks_per_node, 16);
+  // Scaled 1/1024: 128 GB -> 128 MB, 16 GB -> 16 MB.
+  EXPECT_EQ(comet.node_memory, 128ull << 20);
+  EXPECT_EQ(mira.node_memory, 16ull << 20);
+  // Mira cores are slower than Comet cores.
+  EXPECT_LT(mira.map_rate, comet.map_rate);
+}
+
+TEST(Machine, ByNameAndAliases) {
+  EXPECT_EQ(simtime::MachineProfile::by_name("comet").name, "comet_sim");
+  EXPECT_EQ(simtime::MachineProfile::by_name("mira_sim").name, "mira_sim");
+  EXPECT_EQ(simtime::MachineProfile::by_name("test").name, "test");
+  EXPECT_THROW(simtime::MachineProfile::by_name("titan"),
+               mutil::ConfigError);
+}
+
+TEST(Machine, OverridesApply) {
+  auto prof = simtime::MachineProfile::comet_sim();
+  const auto cfg = mutil::Config::from_args(
+      {"machine.ranks_per_node=4", "machine.node_memory=32M",
+       "machine.map_rate=123.5"});
+  prof.apply_overrides(cfg);
+  EXPECT_EQ(prof.ranks_per_node, 4);
+  EXPECT_EQ(prof.node_memory, 32ull << 20);
+  EXPECT_DOUBLE_EQ(prof.map_rate, 123.5);
+  // Untouched fields keep profile values.
+  EXPECT_DOUBLE_EQ(prof.net_latency,
+                   simtime::MachineProfile::comet_sim().net_latency);
+}
+
+}  // namespace
