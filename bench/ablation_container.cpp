@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("ablation_container", cfg);
   auto machine = simtime::MachineProfile::comet_sim();
   machine.ranks_per_node = 4;  // a small node makes the census readable
   machine.apply_overrides(cfg);

@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("ablation_pipelined_cps", cfg);
   auto machine = simtime::MachineProfile::comet_sim();
   machine.ranks_per_node = 4;
   machine.apply_overrides(cfg);

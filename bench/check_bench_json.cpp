@@ -1,0 +1,190 @@
+// Validates the machine-readable bench output against the printed
+// tables it was captured with:
+//
+//   check_bench_json BENCH_<figure>.json [TRACE_<figure>.json]
+//
+// The BENCH document must parse, every point must carry a well-formed
+// stats block whose traffic matrix total equals its shuffle.bytes_sent
+// counter, and every runnable sweep point must round-trip: the memory
+// and time cells recomputed from the point's numbers must equal the
+// cells captured from the printed table. The TRACE document, when
+// given, must parse as a Chrome trace-event object with consistent
+// duration events. Exits non-zero with a message on the first failure.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "mutil/error.hpp"
+#include "stats/jsonlite.hpp"
+
+namespace {
+
+using stats::jsonlite::Value;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "check_bench_json: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::string slurp(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) fail(std::string("cannot open ") + path);
+  std::string body;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    body.append(buf, n);
+  }
+  std::fclose(f);
+  return body;
+}
+
+bench::Outcome::Status parse_status(const std::string& name) {
+  using Status = bench::Outcome::Status;
+  if (name == "ok") return Status::kOk;
+  if (name == "spill") return Status::kSpilled;
+  if (name == "oom") return Status::kOom;
+  if (name == "err") return Status::kError;
+  fail("unknown point status '" + name + "'");
+}
+
+/// Find the cell of (table containing `app` in its title, row with
+/// x-label `x`, column named `column`); nullptr when absent.
+const std::string* table_cell(
+    const std::vector<const Value*>& tables, const std::string& app,
+    const std::string& x, const std::string& column,
+    std::vector<std::string>* scratch) {
+  for (const Value* table : tables) {
+    if (table->at("title").str.find(app) == std::string::npos) continue;
+    const Value& columns = table->at("columns");
+    std::size_t col = columns.array.size();
+    for (std::size_t c = 0; c < columns.array.size(); ++c) {
+      if (columns.array[c].str == column) col = c;
+    }
+    if (col == columns.array.size()) continue;
+    for (const Value& row : table->at("rows").array) {
+      if (row.array.empty() || row.array[0].str != x) continue;
+      if (col >= row.array.size()) continue;
+      scratch->push_back(row.array[col].str);
+      return &scratch->back();
+    }
+  }
+  return nullptr;
+}
+
+void check_bench(const Value& doc) {
+  if (!doc.is_object()) fail("BENCH document is not an object");
+  if (doc.at("figure").str.empty()) fail("empty figure id");
+  const Value& points = doc.at("points");
+  if (!points.is_array() || points.array.empty()) {
+    fail("no points recorded");
+  }
+
+  std::vector<const Value*> tables;
+  for (const Value& t : doc.at("tables").array) tables.push_back(&t);
+
+  std::vector<std::string> scratch;
+  scratch.reserve(2 * points.array.size());
+  std::size_t round_tripped = 0;
+  for (const Value& point : points.array) {
+    const std::string where =
+        point.at("app").str + " / " + point.at("x").str + " / " +
+        point.at("series").str;
+
+    bench::Outcome outcome;
+    outcome.status = parse_status(point.at("status").str);
+    outcome.time = point.at("sim_time").number;
+    outcome.peak = point.at("node_peak").as_u64();
+    outcome.shuffled = point.at("shuffle_bytes").as_u64();
+    if (outcome.ok() && outcome.time <= 0.0) {
+      fail(where + ": ok point with non-positive sim_time");
+    }
+
+    // The stats block must be internally consistent: the traffic matrix
+    // accounts for exactly the bytes the shuffle counters saw.
+    const Value& stats = point.at("stats");
+    const Value& traffic = stats.at("traffic");
+    std::uint64_t matrix_total = 0;
+    for (const Value& row : traffic.at("matrix").array) {
+      for (const Value& cell : row.array) matrix_total += cell.as_u64();
+    }
+    if (matrix_total != traffic.at("total_bytes").as_u64()) {
+      fail(where + ": traffic matrix total " +
+           std::to_string(matrix_total) + " != reported total_bytes");
+    }
+    const Value* sent = stats.at("counters").find("shuffle.bytes_sent");
+    const std::uint64_t counter_sent = sent ? sent->as_u64() : 0;
+    if (matrix_total != counter_sent) {
+      fail(where + ": traffic matrix total " +
+           std::to_string(matrix_total) + " != shuffle.bytes_sent " +
+           std::to_string(counter_sent));
+    }
+
+    // Sweep points (app/x/series all set) must match the printed table.
+    if (point.at("x").str.empty() || point.at("series").str.empty()) {
+      continue;
+    }
+    const std::string* mem =
+        table_cell(tables, point.at("app").str, point.at("x").str,
+                   point.at("series").str + " mem", &scratch);
+    const std::string* time =
+        table_cell(tables, point.at("app").str, point.at("x").str,
+                   point.at("series").str + " time", &scratch);
+    if (mem == nullptr || time == nullptr) continue;
+    if (*mem != bench::Table::mem_cell(outcome)) {
+      fail(where + ": table mem cell '" + *mem +
+           "' != recomputed '" + bench::Table::mem_cell(outcome) + "'");
+    }
+    if (*time != bench::Table::time_cell(outcome)) {
+      fail(where + ": table time cell '" + *time +
+           "' != recomputed '" + bench::Table::time_cell(outcome) + "'");
+    }
+    ++round_tripped;
+  }
+  if (round_tripped == 0) {
+    fail("no sweep point could be matched against a captured table");
+  }
+  std::printf("BENCH ok: %zu points, %zu table round-trips\n",
+              points.array.size(), round_tripped);
+}
+
+void check_trace(const Value& doc) {
+  if (!doc.is_object()) fail("TRACE document is not an object");
+  const Value& events = doc.at("traceEvents");
+  if (!events.is_array() || events.array.empty()) {
+    fail("TRACE has no events");
+  }
+  std::size_t durations = 0;
+  for (const Value& event : events.array) {
+    const std::string& ph = event.at("ph").str;
+    if (ph == "X") {
+      if (event.at("ts").number < 0 || event.at("dur").number < 0) {
+        fail("duration event with negative ts/dur");
+      }
+      ++durations;
+    } else if (ph != "i" && ph != "M") {
+      fail("unexpected event phase '" + ph + "'");
+    }
+  }
+  if (durations == 0) fail("TRACE has no duration events");
+  std::printf("TRACE ok: %zu events, %zu durations\n",
+              events.array.size(), durations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: check_bench_json BENCH.json [TRACE.json]\n");
+    return 2;
+  }
+  try {
+    check_bench(stats::jsonlite::parse(slurp(argv[1])));
+    if (argc > 2) check_trace(stats::jsonlite::parse(slurp(argv[2])));
+  } catch (const mutil::Error& e) {
+    fail(e.what());
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("ext_mimir_ooc", cfg);
   auto machine = simtime::MachineProfile::comet_sim();
   // A deliberately small node so the boundary sits early in the sweep.
   machine.node_memory = 16 << 20;

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("fig07", cfg);
   auto machine = simtime::MachineProfile::comet_sim();
   machine.apply_overrides(cfg);
   const int ranks = machine.ranks_per_node;

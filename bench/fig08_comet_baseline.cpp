@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("fig08", cfg);
   auto machine = simtime::MachineProfile::comet_sim();
   machine.apply_overrides(cfg);
   const bool quick = bench::quick_mode(cfg);

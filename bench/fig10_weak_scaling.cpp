@@ -72,6 +72,7 @@ void weak_scaling(const char* machine_name, std::uint64_t per_node_bytes,
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("fig10", cfg);
   weak_scaling("comet", 512 << 10, 512 << 10, cfg);
   weak_scaling("mira", 256 << 10, 128 << 10, cfg);
   return 0;

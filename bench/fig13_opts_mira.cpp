@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("fig13", cfg);
   auto machine = simtime::MachineProfile::mira_sim();
   machine.apply_overrides(cfg);
   const bool quick = bench::quick_mode(cfg);

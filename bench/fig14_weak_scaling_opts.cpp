@@ -19,6 +19,7 @@
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_cli(argc, argv);
+  bench::Report::init("fig14", cfg);
   auto machine = simtime::MachineProfile::mira_sim();
   const int paper_rpn = machine.ranks_per_node;
   constexpr int kRpn = 1;

@@ -5,8 +5,22 @@
 #include <cstring>
 
 #include "mutil/error.hpp"
+#include "mutil/logging.hpp"
+#include "stats/jsonlite.hpp"
 
 namespace bench {
+
+namespace {
+
+std::unique_ptr<Report> g_report;  // written (and freed) at process exit
+
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
 
 const char* Outcome::status_name() const {
   switch (status) {
@@ -18,15 +32,31 @@ const char* Outcome::status_name() const {
   return "?";
 }
 
+std::string RunLabel::text() const {
+  std::string out;
+  for (const std::string* part : {&app, &x, &series}) {
+    if (part->empty()) continue;
+    if (!out.empty()) out += " / ";
+    out += *part;
+  }
+  return out;
+}
+
 Outcome run_config(int nranks, const simtime::MachineProfile& machine,
-                   pfs::FileSystem& fs, const BenchFn& fn) {
+                   pfs::FileSystem& fs, const BenchFn& fn,
+                   const RunLabel& label) {
   Outcome outcome;
+  Report* report = Report::active();
+  std::unique_ptr<stats::Collector> collector;
+  if (report != nullptr) collector = std::make_unique<stats::Collector>();
   std::atomic<bool> spilled{false};
   try {
-    const auto stats =
-        simmpi::run(nranks, machine, fs, [&](simmpi::Context& ctx) {
+    const auto stats = simmpi::run(
+        nranks, machine, fs,
+        [&](simmpi::Context& ctx) {
           if (fn(ctx)) spilled.store(true, std::memory_order_relaxed);
-        });
+        },
+        collector.get());
     outcome.time = stats.sim_time;
     outcome.peak = stats.node_peak;
     outcome.shuffled = stats.shuffle_bytes;
@@ -39,7 +69,115 @@ Outcome run_config(int nranks, const simtime::MachineProfile& machine,
     outcome.status = Outcome::Status::kError;
     outcome.detail = e.what();
   }
+  if (report != nullptr) {
+    outcome.profile =
+        std::make_shared<const stats::Summary>(collector->summary());
+    report->add_run(label, outcome, *collector);
+  }
   return outcome;
+}
+
+void Report::init(const std::string& figure, const mutil::Config& cfg) {
+  const bool stats = cfg.get_bool("stats", false);
+  const bool trace = cfg.get_bool("trace", false);
+  if (!stats && !trace) return;
+  g_report.reset(new Report(figure, cfg));
+}
+
+Report* Report::active() noexcept { return g_report.get(); }
+
+Report::Report(std::string figure, const mutil::Config& cfg)
+    : figure_(std::move(figure)),
+      dir_(cfg.get_string("bench_dir", ".")),
+      trace_(cfg.get_bool("trace", false)) {}
+
+Report::~Report() { write(); }
+
+void Report::add_run(const RunLabel& label, const Outcome& outcome,
+                     const stats::Collector& collector) {
+  Point point;
+  point.label = label;
+  if (point.label.text().empty()) {
+    point.label.app = "run" + std::to_string(points_.size());
+  }
+  point.outcome = outcome;
+  point.stats_json = collector.summary().json();
+  if (trace_) trace_writer_.add_run(collector, point.label.text());
+  points_.push_back(std::move(point));
+}
+
+void Report::add_table(const std::string& title,
+                       const std::vector<std::string>& columns,
+                       const std::vector<std::vector<std::string>>& rows) {
+  tables_.push_back({title, columns, rows});
+}
+
+std::string Report::bench_json() const {
+  using stats::jsonlite::escape;
+  std::string out = "{\"figure\":\"" + escape(figure_) + "\",\"schema\":1";
+  out += ",\"points\":[";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (i != 0) out += ",";
+    out += "{\"app\":\"" + escape(p.label.app) + "\"";
+    out += ",\"x\":\"" + escape(p.label.x) + "\"";
+    out += ",\"series\":\"" + escape(p.label.series) + "\"";
+    out += ",\"status\":\"";
+    out += p.outcome.status_name();
+    out += "\"";
+    out += ",\"sim_time\":" + json_double(p.outcome.time);
+    out += ",\"node_peak\":" + std::to_string(p.outcome.peak);
+    out += ",\"shuffle_bytes\":" + std::to_string(p.outcome.shuffled);
+    if (!p.outcome.detail.empty()) {
+      out += ",\"detail\":\"" + escape(p.outcome.detail) + "\"";
+    }
+    out += ",\"stats\":" + p.stats_json;
+    out += "}";
+  }
+  out += "],\"tables\":[";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const CapturedTable& table = tables_[t];
+    if (t != 0) out += ",";
+    out += "{\"title\":\"" + escape(table.title) + "\",\"columns\":[";
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (c != 0) out += ",";
+      out += "\"" + escape(table.columns[c]) + "\"";
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      if (r != 0) out += ",";
+      out += "[";
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        if (c != 0) out += ",";
+        out += "\"" + escape(table.rows[r][c]) + "\"";
+      }
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Report::write() {
+  if (written_) return;
+  written_ = true;
+  auto emit = [&](const std::string& name, const std::string& body) {
+    const std::string path = dir_ + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  };
+  emit("BENCH_" + figure_ + ".json", bench_json());
+  if (trace_ && !trace_writer_.empty()) {
+    emit("TRACE_" + figure_ + ".json", trace_writer_.json());
+  }
 }
 
 std::string paper_size(std::uint64_t scaled_bytes) {
@@ -97,6 +235,9 @@ Table::~Table() {
   std::printf(
       "('-' = cannot run in memory; '*' = spilled to the parallel file "
       "system; sizes labelled at paper scale, 1024x ours)\n");
+  if (Report* report = Report::active()) {
+    report->add_table(figure_, columns_, rows_);
+  }
 }
 
 mutil::Config parse_cli(int argc, char** argv) {
@@ -104,7 +245,12 @@ mutil::Config parse_cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strchr(argv[i], '=') != nullptr) args.emplace_back(argv[i]);
   }
-  return mutil::Config::from_args(args);
+  auto cfg = mutil::Config::from_args(args);
+  if (cfg.contains("mimir.log_level")) {
+    mutil::set_log_level(
+        mutil::parse_log_level(cfg.get_string("mimir.log_level", "warn")));
+  }
+  return cfg;
 }
 
 bool quick_mode(const mutil::Config& cfg) {

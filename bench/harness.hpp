@@ -9,11 +9,19 @@
 //
 // All sizes are scaled 1/1024 from the paper; labels show the
 // paper-equivalent size (e.g. our 1 MB prints as "1G(sc)").
+// Machine-readable output: call Report::init(figure, cfg) once in each
+// binary's main. With stats=1 and/or trace=1 on the command line, every
+// run is profiled through a stats::Collector and the process writes
+// BENCH_<figure>.json (structured points + the printed tables) and,
+// with trace=1, TRACE_<figure>.json (Chrome/Perfetto trace events, one
+// process per run) into bench_dir (default "."). Without those flags
+// the report stays inactive and the benches behave exactly as before.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +30,7 @@
 #include "pfs/filesystem.hpp"
 #include "simmpi/runtime.hpp"
 #include "simtime/machine.hpp"
+#include "stats/trace.hpp"
 
 namespace bench {
 
@@ -32,6 +41,8 @@ struct Outcome {
   std::uint64_t peak = 0;    ///< max per-node peak memory, bytes
   std::uint64_t shuffled = 0;
   std::string detail;        ///< error text for kOom/kError
+  /// Cross-rank stats aggregate; set only while a Report is active.
+  std::shared_ptr<const stats::Summary> profile;
 
   bool ok() const { return status == Status::kOk; }
   const char* status_name() const;
@@ -40,9 +51,23 @@ struct Outcome {
 /// The workload body; return true if the framework spilled to the PFS.
 using BenchFn = std::function<bool(simmpi::Context&)>;
 
+/// Sweep coordinates of one run, used to label report points and trace
+/// processes. All fields optional; an unlabelled run is reported as
+/// "run<N>".
+struct RunLabel {
+  std::string app;     ///< benchmark / table group, e.g. "WC (Uniform)"
+  std::string x;       ///< x-axis label, e.g. "256M"
+  std::string series;  ///< framework config label, e.g. "Mimir"
+
+  std::string text() const;  ///< "app / x / series" (skipping empties)
+};
+
 /// Run one configuration, translating OOM/usage errors into statuses.
+/// While a Report is active the run is profiled and recorded under
+/// `label`.
 Outcome run_config(int nranks, const simtime::MachineProfile& machine,
-                   pfs::FileSystem& fs, const BenchFn& fn);
+                   pfs::FileSystem& fs, const BenchFn& fn,
+                   const RunLabel& label = {});
 
 /// Scale helper: our bytes -> the paper's label (x1024), e.g. 1M -> "1G".
 std::string paper_size(std::uint64_t scaled_bytes);
@@ -70,7 +95,61 @@ class Table {
   std::string caption_;
 };
 
-/// Parse trailing key=value CLI arguments into a Config.
+/// Process-wide machine-readable figure output (see file header).
+class Report {
+ public:
+  /// Activate reporting for this process when `cfg` asks for it
+  /// (stats=1 / trace=1); reads bench_dir= for the output directory.
+  /// Files are written when the process exits.
+  static void init(const std::string& figure, const mutil::Config& cfg);
+
+  /// The active report, or nullptr when reporting is off.
+  static Report* active() noexcept;
+
+  bool trace_enabled() const noexcept { return trace_; }
+
+  /// Record one profiled run (called by run_config).
+  void add_run(const RunLabel& label, const Outcome& outcome,
+               const stats::Collector& collector);
+
+  /// Capture a printed table for round-trip checks (called by ~Table).
+  void add_table(const std::string& title,
+                 const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows);
+
+  /// Write BENCH_<figure>.json (and TRACE_<figure>.json with trace=1);
+  /// called automatically at exit, idempotent.
+  void write();
+
+  ~Report();
+
+ private:
+  Report(std::string figure, const mutil::Config& cfg);
+
+  struct Point {
+    RunLabel label;
+    Outcome outcome;
+    std::string stats_json;  ///< Summary::json() of the run
+  };
+  struct CapturedTable {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string bench_json() const;
+
+  std::string figure_;
+  std::string dir_;
+  bool trace_ = false;
+  bool written_ = false;
+  std::vector<Point> points_;
+  std::vector<CapturedTable> tables_;
+  stats::TraceWriter trace_writer_;
+};
+
+/// Parse trailing key=value CLI arguments into a Config; applies a
+/// mimir.log_level=debug|info|warn|error override to the global logger.
 mutil::Config parse_cli(int argc, char** argv);
 
 /// true unless "quick=0" / "full=1" style flags say otherwise; quick mode

@@ -80,6 +80,7 @@ Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
                   int nranks, const simtime::MachineProfile& machine,
                   pfs::FileSystem& fs, std::uint64_t seed) {
   const bool mrmpi = fc.fw == FrameworkConfig::Fw::kMrMpi;
+  const RunLabel label{app_name(app), x_label(app, x), fc.label};
   switch (app) {
     case App::kWcUniform:
     case App::kWcWikipedia: {
@@ -90,10 +91,13 @@ Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
       opts.hint = fc.hint;
       opts.pr = fc.pr;
       opts.cps = fc.cps;
-      return run_config(nranks, machine, fs, [&](simmpi::Context& ctx) {
-        if (mrmpi) return apps::wc::run_mrmpi(ctx, opts).spilled;
-        return apps::wc::run_mimir(ctx, opts).spilled;
-      });
+      return run_config(
+          nranks, machine, fs,
+          [&](simmpi::Context& ctx) {
+            if (mrmpi) return apps::wc::run_mrmpi(ctx, opts).spilled;
+            return apps::wc::run_mimir(ctx, opts).spilled;
+          },
+          label);
     }
     case App::kOc: {
       apps::oc::RunOptions opts;
@@ -104,10 +108,13 @@ Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
       opts.hint = fc.hint;
       opts.pr = fc.pr;
       opts.cps = fc.cps;
-      return run_config(nranks, machine, fs, [&](simmpi::Context& ctx) {
-        if (mrmpi) return apps::oc::run_mrmpi(ctx, opts).spilled;
-        return apps::oc::run_mimir(ctx, opts).spilled;
-      });
+      return run_config(
+          nranks, machine, fs,
+          [&](simmpi::Context& ctx) {
+            if (mrmpi) return apps::oc::run_mrmpi(ctx, opts).spilled;
+            return apps::oc::run_mimir(ctx, opts).spilled;
+          },
+          label);
     }
     case App::kBfs: {
       apps::bfs::RunOptions opts;
@@ -117,10 +124,13 @@ Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
       opts.comm_buffer = fc.comm_buffer;
       opts.hint = fc.hint;
       opts.cps = fc.cps;
-      return run_config(nranks, machine, fs, [&](simmpi::Context& ctx) {
-        if (mrmpi) return apps::bfs::run_mrmpi(ctx, opts).spilled;
-        return apps::bfs::run_mimir(ctx, opts).spilled;
-      });
+      return run_config(
+          nranks, machine, fs,
+          [&](simmpi::Context& ctx) {
+            if (mrmpi) return apps::bfs::run_mrmpi(ctx, opts).spilled;
+            return apps::bfs::run_mimir(ctx, opts).spilled;
+          },
+          label);
     }
   }
   return {};

@@ -4,6 +4,13 @@
 // is configured through a Config so that examples and benchmarks can
 // accept "key=value" command-line overrides exactly like the original
 // Mimir accepted environment variables.
+//
+// Process-wide keys honored by the drivers (bench::parse_cli):
+//   * mimir.log_level = debug|info|warn|error — global mutil logging
+//     threshold (the benchmark default is warn, keeping tables clean);
+//     see mutil/logging.hpp.
+//   * stats=1, trace=1, bench_dir=<path> — machine-readable bench
+//     metrics and Chrome trace output; see bench/harness.hpp.
 #pragma once
 
 #include <cstdint>

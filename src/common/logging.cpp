@@ -3,12 +3,20 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
+
+#include "mutil/error.hpp"
 
 namespace mutil {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+
+LogContext& thread_context() {
+  thread_local LogContext context;
+  return context;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,10 +37,38 @@ LogLevel log_level() noexcept {
   return g_level.load(std::memory_order_relaxed);
 }
 
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw ConfigError("log level must be debug|info|warn|error, got '" +
+                    std::string(name) + "'");
+}
+
+void set_thread_log_context(LogContext context) {
+  thread_context() = std::move(context);
+}
+
+void clear_thread_log_context() noexcept { thread_context() = LogContext{}; }
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  const LogContext& context = thread_context();
+  char prefix[64] = "";
+  if (context.rank >= 0) {
+    // Read the simulated clock outside the lock: the clock belongs to
+    // the calling rank thread, so this is race-free by construction.
+    if (context.sim_now) {
+      std::snprintf(prefix, sizeof(prefix), "[r%d @ %.6fs]", context.rank,
+                    context.sim_now());
+    } else {
+      std::snprintf(prefix, sizeof(prefix), "[r%d]", context.rank);
+    }
+  }
   const std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%s]%s %s\n", level_name(level), prefix,
+               message.c_str());
 }
 
 }  // namespace mutil

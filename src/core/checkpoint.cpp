@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "mutil/error.hpp"
+#include "stats/registry.hpp"
 
 namespace mimir {
 
@@ -30,6 +31,12 @@ std::string shard_name(const std::string& name, int rank) {
 
 void save_container(simmpi::Context& ctx, const KVContainer& kvc,
                     const std::string& name) {
+  const stats::PhaseScope phase("checkpoint_save");
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("checkpoint.bytes_written",
+             sizeof(ShardHeader) + kvc.data_bytes());
+    reg->add("checkpoint.saves", 1);
+  }
   ShardHeader header{};
   header.magic = kMagic;
   header.key_len = kvc.codec().hint().key_len;
@@ -64,6 +71,7 @@ bool checkpoint_exists(simmpi::Context& ctx, const std::string& name) {
 
 KVContainer load_container(simmpi::Context& ctx, const std::string& name,
                            std::uint64_t page_size) {
+  const stats::PhaseScope phase("checkpoint_load");
   pfs::Reader reader = ctx.fs.open(shard_name(name, ctx.rank()));
   ShardHeader header{};
   std::byte raw[sizeof(header)];
@@ -91,6 +99,10 @@ KVContainer load_container(simmpi::Context& ctx, const std::string& name,
   kvc.append_encoded(body);
   if (kvc.num_kvs() != header.num_kvs) {
     throw mutil::IoError("checkpoint '" + name + "': KV count mismatch");
+  }
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("checkpoint.bytes_read", sizeof(header) + body.size());
+    reg->add("checkpoint.loads", 1);
   }
   return kvc;
 }

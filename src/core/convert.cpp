@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mutil/hash.hpp"
+#include "stats/registry.hpp"
 
 namespace mimir {
 
@@ -145,19 +146,23 @@ class ConvertIndex {
 
 KMVContainer convert(simmpi::Context& ctx, KVContainer& input,
                      std::uint64_t page_size, ConvertStats* stats) {
+  const stats::PhaseScope phase("convert");
   const KVHint hint = input.codec().hint();
   KMVContainer kmvc(ctx.tracker, page_size, hint);
   ConvertIndex index(ctx.tracker, input.spilled());
 
   // Pass 1: per-key sizes and counts.
   const std::uint64_t input_kvs = input.num_kvs();
-  input.scan([&](const KVView& kv) {
-    auto& group = index.groups()[index.upsert(kv.key)];
-    ++group.count;
-    group.values_total += kv.value.size();
-  });
-  ctx.clock().advance(static_cast<double>(input.data_bytes()) /
-                      ctx.machine.reduce_rate);
+  {
+    const stats::PhaseScope pass1("convert.pass1");
+    input.scan([&](const KVView& kv) {
+      auto& group = index.groups()[index.upsert(kv.key)];
+      ++group.count;
+      group.values_total += kv.value.size();
+    });
+    ctx.clock().advance(static_cast<double>(input.data_bytes()) /
+                        ctx.machine.reduce_rate);
+  }
 
   // Layout: reserve every KMV record in first-encounter order, then
   // swing the index's key references to the KMVC's stable copies so the
@@ -171,13 +176,21 @@ KMVContainer convert(simmpi::Context& ctx, KVContainer& input,
 
   // Pass 2: drain the source, filling reserved value slots; source pages
   // are freed page by page.
-  input.consume([&](const KVView& kv) {
-    auto& group = index.groups()[index.find(kv.key)];
-    kmvc.add_value(group.slot, kv.value);
-  });
-  ctx.clock().advance(static_cast<double>(kmvc.data_bytes()) /
-                      ctx.machine.reduce_rate);
+  {
+    const stats::PhaseScope pass2("convert.pass2");
+    input.consume([&](const KVView& kv) {
+      auto& group = index.groups()[index.find(kv.key)];
+      kmvc.add_value(group.slot, kv.value);
+    });
+    ctx.clock().advance(static_cast<double>(kmvc.data_bytes()) /
+                        ctx.machine.reduce_rate);
+  }
 
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("convert.input_kvs", input_kvs);
+    reg->add("convert.unique_keys", kmvc.num_kmvs());
+    reg->add("convert.kmv_bytes", kmvc.data_bytes());
+  }
   if (stats != nullptr) {
     stats->input_kvs = input_kvs;
     stats->unique_keys = kmvc.num_kmvs();

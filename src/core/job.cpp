@@ -6,6 +6,7 @@
 #include "mimir/convert.hpp"
 #include "mimir/shuffle.hpp"
 #include "mutil/error.hpp"
+#include "stats/registry.hpp"
 
 namespace mimir {
 
@@ -160,6 +161,10 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
         "mimir::Job: kv_compression requires a combiner callback");
   }
 
+  // The aggregate scopes opened by Shuffle::exchange_round nest inside
+  // this map scope, mirroring Mimir's map phase with interleaved
+  // communication.
+  const stats::PhaseScope phase("map");
   Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, intermediate_,
                   cfg_.partitioner);
   if (cfg_.kv_compression) {
@@ -182,6 +187,14 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
   metrics_.intermediate_kvs = intermediate_.num_kvs();
   metrics_.intermediate_bytes = intermediate_.data_bytes();
   metrics_.map_end_time = ctx_.clock().now();
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("map.emitted_kvs", metrics_.map_emitted_kvs);
+    reg->add("map.emitted_bytes", metrics_.map_emitted_bytes);
+    reg->add("map.input_bytes", metrics_.input_bytes);
+    reg->add("map.combined_kvs", metrics_.combined_kvs);
+    reg->add("map.intermediate_kvs", metrics_.intermediate_kvs);
+    reg->add("map.intermediate_bytes", metrics_.intermediate_bytes);
+  }
   phase_ = Phase::kMapped;
 }
 
@@ -250,6 +263,7 @@ std::uint64_t Job::reduce(const ReduceFn& fn) {
   KMVContainer kmvc = convert(ctx_, intermediate_, cfg_.page_size, &stats);
   metrics_.unique_keys = stats.unique_keys;
 
+  const stats::PhaseScope phase("reduce");
   OutputEmitter emitter(output_, ctx_);
   const double rate = ctx_.machine.reduce_rate;
   const std::uint64_t kmv_bytes = kmvc.data_bytes();
@@ -261,6 +275,11 @@ std::uint64_t Job::reduce(const ReduceFn& fn) {
   metrics_.output_kvs = output_.num_kvs();
   metrics_.output_bytes = output_.data_bytes();
   metrics_.reduce_end_time = ctx_.clock().now();
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("reduce.unique_keys", metrics_.unique_keys);
+    reg->add("reduce.output_kvs", metrics_.output_kvs);
+    reg->add("reduce.output_bytes", metrics_.output_bytes);
+  }
   phase_ = Phase::kReduced;
   return metrics_.output_kvs;
 }
@@ -270,6 +289,7 @@ std::uint64_t Job::partial_reduce(const CombineFn& combiner) {
     throw mutil::UsageError(
         "mimir::Job: partial_reduce requires a completed map");
   }
+  const stats::PhaseScope phase("partial_reduce");
   CombineTable bucket(ctx_.tracker, cfg_.page_size, cfg_.hint, combiner);
   const double rate = ctx_.machine.reduce_rate;
   intermediate_.consume([&](const KVView& kv) {
@@ -285,6 +305,11 @@ std::uint64_t Job::partial_reduce(const CombineFn& combiner) {
   metrics_.output_kvs = output_.num_kvs();
   metrics_.output_bytes = output_.data_bytes();
   metrics_.reduce_end_time = ctx_.clock().now();
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("reduce.unique_keys", metrics_.unique_keys);
+    reg->add("reduce.output_kvs", metrics_.output_kvs);
+    reg->add("reduce.output_bytes", metrics_.output_bytes);
+  }
   phase_ = Phase::kReduced;
   return metrics_.output_kvs;
 }

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "mutil/hash.hpp"
+#include "stats/registry.hpp"
 
 namespace mimir {
 
@@ -62,6 +63,18 @@ void Shuffle::emit(std::string_view key, std::string_view value) {
 
 bool Shuffle::exchange_round(bool this_rank_done) {
   ++rounds_;
+  // Each exchange round is one aggregate phase: the map is suspended,
+  // send partitions are drained through alltoallv, and the received KVs
+  // land in the destination container.
+  const stats::PhaseScope phase("aggregate");
+  if (stats::Registry* reg = stats::current()) {
+    reg->instant("exchange_round");
+    reg->add("shuffle.rounds", 1);
+    for (std::size_t dst = 0; dst < part_used_.size(); ++dst) {
+      reg->record_traffic(static_cast<int>(dst), part_used_[dst]);
+      reg->add("shuffle.bytes_sent", part_used_[dst]);
+    }
+  }
   const auto recv_counts = ctx_.comm.alltoall_u64(part_used_);
 
   std::vector<std::uint64_t> recv_displs(recv_counts.size(), 0);

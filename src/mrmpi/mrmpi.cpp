@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mutil/hash.hpp"
+#include "stats/registry.hpp"
 
 namespace mrmpi {
 
@@ -71,11 +72,15 @@ std::string MapReduce::store_name(const char* phase) const {
 std::uint64_t MapReduce::run_map(
     const std::function<void(mimir::Emitter&)>& producer) {
   ++generation_;
+  const stats::PhaseScope phase("map");
   PagedData out(ctx_, store_name("map"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   producer(emitter);
   out.freeze();
   metrics_.map_emitted_kvs += emitter.emitted();
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("map.emitted_kvs", emitter.emitted());
+  }
   metrics_.spilled = metrics_.spilled || out.spilled();
   kv_.emplace(std::move(out));
   ctx_.comm.barrier();  // MR-MPI: global barrier ends every phase
@@ -147,6 +152,7 @@ std::uint64_t MapReduce::aggregate() {
     throw mutil::UsageError("mrmpi: aggregate with no KV data");
   }
   ++generation_;
+  const stats::PhaseScope phase("aggregate");
   const auto p = static_cast<std::uint64_t>(ctx_.size());
   const std::uint64_t page = cfg_.page_size;
 
@@ -182,6 +188,14 @@ std::uint64_t MapReduce::aggregate() {
     // the extra copy Mimir's shared buffers eliminate.
     std::fill(send_counts.begin(), send_counts.end(), 0);
     for (const Staged& s : staged) send_counts[s.dest] += s.length;
+    if (stats::Registry* reg = stats::current()) {
+      reg->instant("exchange_round");
+      reg->add("shuffle.rounds", 1);
+      for (std::uint64_t d = 0; d < p; ++d) {
+        reg->record_traffic(static_cast<int>(d), send_counts[d]);
+        reg->add("shuffle.bytes_sent", send_counts[d]);
+      }
+    }
     std::uint64_t offset = 0;
     for (std::uint64_t d = 0; d < p; ++d) {
       send_displs[d] = offset;
@@ -363,6 +377,7 @@ std::uint64_t MapReduce::convert() {
     throw mutil::UsageError("mrmpi: convert with no KV data");
   }
   ++generation_;
+  const stats::PhaseScope phase("convert");
   PagedData out(ctx_, store_name("kmv"), cfg_.page_size, cfg_.out_of_core);
   std::uint64_t unique = 0;
   std::vector<std::byte> record;
@@ -402,6 +417,9 @@ std::uint64_t MapReduce::convert() {
 
   out.freeze();
   metrics_.unique_keys += unique;
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("convert.unique_keys", unique);
+  }
   metrics_.spilled = metrics_.spilled || out.spilled();
   kv_->clear();
   kv_.reset();
@@ -418,6 +436,7 @@ std::uint64_t MapReduce::compress(const mimir::CombineFn& combiner) {
     throw mutil::UsageError("mrmpi: compress requires a combiner");
   }
   ++generation_;
+  const stats::PhaseScope phase("compress");
   PagedData out(ctx_, store_name("cps"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   std::uint64_t before = kv_->num_records();
@@ -448,6 +467,7 @@ std::uint64_t MapReduce::reduce(const mimir::ReduceFn& fn) {
     throw mutil::UsageError("mrmpi: reduce with no KMV data (call convert)");
   }
   ++generation_;
+  const stats::PhaseScope phase("reduce");
   PagedData out(ctx_, store_name("red"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   const double rate = ctx_.machine.reduce_rate;

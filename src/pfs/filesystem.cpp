@@ -4,8 +4,25 @@
 #include <cstring>
 
 #include "mutil/error.hpp"
+#include "stats/registry.hpp"
 
 namespace pfs {
+
+namespace {
+
+/// Per-rank I/O accounting (counters + simulated I/O time) when the
+/// calling thread is a rank thread bound to a stats registry; no-op
+/// otherwise. Accounting only — never touches the clock or tracker.
+void record_io(const char* bytes_counter, const char* ops_counter,
+               std::uint64_t bytes, double seconds) {
+  if (stats::Registry* reg = stats::current()) {
+    reg->add(bytes_counter, bytes);
+    reg->add(ops_counter, 1);
+    reg->add_seconds("pfs.io_seconds", seconds);
+  }
+}
+
+}  // namespace
 
 FileSystem::FileSystem(const simtime::MachineProfile& profile,
                        int num_clients)
@@ -146,7 +163,9 @@ void Writer::write(std::span<const std::byte> data, simtime::Clock& clock) {
   }
   written_ += data.size();
   fs_->record_write(data.size());
-  clock.advance(fs_->cost(data.size()));
+  const double cost = fs_->cost(data.size());
+  record_io("pfs.bytes_written", "pfs.write_ops", data.size(), cost);
+  clock.advance(cost);
 }
 
 void Writer::write(std::string_view text, simtime::Clock& clock) {
@@ -167,7 +186,9 @@ std::size_t Reader::read(std::span<std::byte> out, simtime::Clock& clock) {
   }
   offset_ += n;
   fs_->record_read(n);
-  clock.advance(fs_->cost(n));
+  const double cost = fs_->cost(n);
+  record_io("pfs.bytes_read", "pfs.read_ops", n, cost);
+  clock.advance(cost);
   return n;
 }
 
@@ -182,7 +203,9 @@ std::vector<std::byte> Reader::read_all(simtime::Clock& clock) {
   }
   offset_ += out.size();
   fs_->record_read(out.size());
-  clock.advance(fs_->cost(out.size()));
+  const double cost = fs_->cost(out.size());
+  record_io("pfs.bytes_read", "pfs.read_ops", out.size(), cost);
+  clock.advance(cost);
   return out;
 }
 

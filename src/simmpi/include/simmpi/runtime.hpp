@@ -19,6 +19,10 @@
 #include "simtime/clock.hpp"
 #include "simtime/machine.hpp"
 
+namespace stats {
+class Collector;
+}
+
 namespace simmpi {
 
 /// Everything one rank sees. Passed by reference to the rank function;
@@ -57,11 +61,20 @@ using RankFn = std::function<void(Context&)>;
 /// input files survive across jobs. Node memory budgets are created per
 /// simulated node (machine.node_memory; 0 = unlimited). Rethrows the
 /// first rank exception after all threads have been joined.
+///
+/// When `collector` is non-null it is reset to `nranks` registries and
+/// each rank thread is bound to its registry (stats::current()) for the
+/// duration of `fn`, so framework phase scopes, counters, and the
+/// shuffle traffic matrix are recorded per rank. Collection is
+/// accounting-only: simulated times and peak-memory results are
+/// identical with and without a collector.
 JobStats run(int nranks, const simtime::MachineProfile& machine,
-             pfs::FileSystem& fs, const RankFn& fn);
+             pfs::FileSystem& fs, const RankFn& fn,
+             stats::Collector* collector = nullptr);
 
 /// Convenience for tests: run with an unlimited test profile and a
 /// throwaway file system.
-JobStats run_test(int nranks, const RankFn& fn);
+JobStats run_test(int nranks, const RankFn& fn,
+                  stats::Collector* collector = nullptr);
 
 }  // namespace simmpi

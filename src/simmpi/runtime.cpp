@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <thread>
 
+#include "mutil/logging.hpp"
 #include "shared_state.hpp"
+#include "stats/registry.hpp"
+#include "stats/trace.hpp"
 
 namespace simmpi {
 
 JobStats run(int nranks, const simtime::MachineProfile& machine,
-             pfs::FileSystem& fs, const RankFn& fn) {
+             pfs::FileSystem& fs, const RankFn& fn,
+             stats::Collector* collector) {
   if (nranks <= 0) {
     throw mutil::ConfigError("simmpi::run: nranks must be positive");
   }
@@ -39,6 +44,7 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
   }
 
   const pfs::IoStats io_before = fs.stats();
+  if (collector != nullptr) collector->reset(nranks);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -46,6 +52,16 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
     threads.emplace_back([&, r] {
       Context ctx{*comms[static_cast<std::size_t>(r)],
                   *trackers[static_cast<std::size_t>(r)], fs, machine};
+      // Attribute this thread's log lines to the rank and its simulated
+      // clock for the duration of the rank function.
+      const mutil::ScopedLogContext log_context(
+          {r, [&ctx] { return ctx.clock().now(); }});
+      std::optional<stats::ScopedBind> stats_bind;
+      if (collector != nullptr) {
+        stats::Registry& registry = collector->rank(r);
+        registry.bind(r, nranks, &ctx.clock(), &ctx.tracker);
+        stats_bind.emplace(&registry);
+      }
       try {
         fn(ctx);
       } catch (...) {
@@ -82,10 +98,11 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
   return stats;
 }
 
-JobStats run_test(int nranks, const RankFn& fn) {
+JobStats run_test(int nranks, const RankFn& fn,
+                  stats::Collector* collector) {
   const simtime::MachineProfile machine = simtime::MachineProfile::test_profile();
   pfs::FileSystem fs(machine, nranks);
-  return run(nranks, machine, fs, fn);
+  return run(nranks, machine, fs, fn, collector);
 }
 
 }  // namespace simmpi

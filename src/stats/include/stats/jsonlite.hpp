@@ -1,0 +1,53 @@
+// Minimal JSON support for the stats subsystem: an escaper for the
+// writers (trace events, bench metrics) and a small strict parser used
+// by tests and the bench round-trip checker to validate that emitted
+// documents are well-formed. Deliberately tiny — no external JSON
+// dependency is available in this environment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stats::jsonlite {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string escape(std::string_view text);
+
+/// Parsed JSON value. Numbers are kept as double (adequate for the
+/// validation use; exact integers up to 2^53).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value, std::less<>> object;
+
+  bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_bool() const noexcept { return type == Type::kBool; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_object() const noexcept { return type == Type::kObject; }
+
+  /// Object member access; throws mutil::ConfigError when absent or not
+  /// an object.
+  const Value& at(std::string_view key) const;
+  /// Object member lookup; nullptr when absent.
+  const Value* find(std::string_view key) const noexcept;
+  std::uint64_t as_u64() const noexcept {
+    return number < 0 ? 0 : static_cast<std::uint64_t>(number);
+  }
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws mutil::ConfigError on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace stats::jsonlite

@@ -1,0 +1,180 @@
+// Per-rank profiling registry (the paper's PROFILER/TRACKER stand-in).
+//
+// The paper's entire evaluation is phase-resolved: peak memory per node,
+// map/aggregate/convert/reduce timings, and shuffle volume. This module
+// collects exactly those measurements per rank:
+//
+//   * hierarchical phase timers driven by the rank's *simulated* clock
+//     (wall time on an oversubscribed laptop core is meaningless here);
+//   * named monotonic counters and simulated-seconds timers;
+//   * per-phase memory samples read from the rank's memtrack::Tracker;
+//   * a shuffle traffic row (bytes this rank sent to each destination),
+//     assembled into a full src->dst matrix by stats::Collector.
+//
+// Instrumentation is accounting-only by construction: a Registry never
+// advances a clock and never charges a Tracker (its own storage is
+// untracked heap), so simulated times and peak-memory results are
+// bit-identical whether stats are collected or not.
+//
+// Threading model mirrors memtrack::Tracker: each rank thread owns one
+// Registry and is the only writer; aggregation happens after the job
+// joins. Framework code reaches its rank's registry through the
+// thread-local stats::current(), bound by simmpi::run for the duration
+// of the rank function (nullptr outside a collected run, making every
+// probe a cheap no-op).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simtime {
+class Clock;
+}
+namespace memtrack {
+class Tracker;
+}
+
+namespace stats {
+
+/// One completed phase on one rank. Timestamps are simulated seconds.
+struct PhaseRecord {
+  std::string name;
+  int depth = 0;               ///< 0 = top level; children are deeper
+  double begin = 0.0;
+  double end = 0.0;
+  std::uint64_t mem_begin = 0; ///< tracker bytes live at phase begin
+  std::uint64_t mem_end = 0;   ///< tracker bytes live at phase end
+  /// Phase high-water sample: the rank's true high-water when the phase
+  /// set a new rank-lifetime peak, otherwise max(mem_begin, mem_end).
+  std::uint64_t mem_peak = 0;
+
+  double seconds() const noexcept { return end - begin; }
+};
+
+/// A point event (e.g. one shuffle exchange round).
+struct InstantRecord {
+  std::string name;
+  double time = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+
+  Registry(Registry&&) = default;
+  Registry& operator=(Registry&&) = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Attach this registry to a rank's substrate. `clock` and `tracker`
+  /// may be null (standalone use in tests records zero times/memory).
+  void bind(int rank, int nranks, const simtime::Clock* clock,
+            const memtrack::Tracker* tracker);
+
+  int rank() const noexcept { return rank_; }
+  int ranks() const noexcept { return nranks_; }
+
+  // --- phases ------------------------------------------------------------
+
+  void phase_begin(std::string_view name);
+  void phase_end();
+  int open_depth() const noexcept { return static_cast<int>(open_.size()); }
+
+  // --- counters / timers / events ----------------------------------------
+
+  /// Monotonic counter: only ever incremented.
+  void add(std::string_view counter, std::uint64_t delta);
+  /// Simulated-seconds accumulator (e.g. PFS I/O time).
+  void add_seconds(std::string_view timer, double seconds);
+  void instant(std::string_view name);
+  /// Bytes this rank sent to `dest` through the shuffle.
+  void record_traffic(int dest, std::uint64_t bytes);
+
+  // --- introspection (export and tests) ----------------------------------
+
+  /// Completed phases, in completion order (children before parents).
+  const std::vector<PhaseRecord>& phases() const noexcept { return phases_; }
+  const std::vector<InstantRecord>& instants() const noexcept {
+    return instants_;
+  }
+  const std::map<std::string, std::uint64_t, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& timers() const noexcept {
+    return timers_;
+  }
+  /// This rank's traffic row: traffic()[d] = bytes sent to rank d.
+  const std::vector<std::uint64_t>& traffic() const noexcept {
+    return traffic_;
+  }
+  std::uint64_t counter(std::string_view name) const noexcept;
+
+ private:
+  struct OpenPhase {
+    std::string name;
+    double begin = 0.0;
+    std::uint64_t mem_begin = 0;
+    std::uint64_t peak_at_begin = 0;
+  };
+
+  double now() const noexcept;
+  std::uint64_t mem_current() const noexcept;
+  std::uint64_t mem_peak() const noexcept;
+
+  int rank_ = -1;
+  int nranks_ = 0;
+  const simtime::Clock* clock_ = nullptr;
+  const memtrack::Tracker* tracker_ = nullptr;
+
+  std::vector<OpenPhase> open_;
+  std::vector<PhaseRecord> phases_;
+  std::vector<InstantRecord> instants_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> timers_;
+  std::vector<std::uint64_t> traffic_;
+};
+
+/// The calling thread's registry, or nullptr when stats are not being
+/// collected. Bound by simmpi::run via ScopedBind.
+Registry* current() noexcept;
+
+/// RAII thread-local binding of a registry (nestable; restores the
+/// previous binding on destruction).
+class ScopedBind {
+ public:
+  explicit ScopedBind(Registry* registry) noexcept;
+  ~ScopedBind();
+
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
+/// RAII phase timer. Null-safe: with no registry it is a no-op, so
+/// framework code can open scopes unconditionally.
+class PhaseScope {
+ public:
+  /// Scope on the calling thread's registry (stats::current()).
+  explicit PhaseScope(std::string_view name) : PhaseScope(current(), name) {}
+  PhaseScope(Registry* registry, std::string_view name)
+      : registry_(registry) {
+    if (registry_ != nullptr) registry_->phase_begin(name);
+  }
+  ~PhaseScope() {
+    if (registry_ != nullptr) registry_->phase_end();
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Registry* registry_;
+};
+
+}  // namespace stats

@@ -1,0 +1,90 @@
+// Aggregation and export of per-rank stats::Registry data.
+//
+//   * Collector   — one Registry per rank of a job; passed to
+//                   simmpi::run, which binds each rank thread to its
+//                   registry for the duration of the rank function.
+//   * Summary     — cross-rank aggregate: summed counters/timers,
+//                   per-phase time (max over ranks, the job-completion
+//                   view) and memory high-water, and the full src->dst
+//                   shuffle traffic matrix. Exports as a JSON object.
+//   * TraceWriter — Chrome/Perfetto trace-event JSON: one track (tid)
+//                   per rank, phases as duration ("X") events stamped
+//                   with *simulated* microseconds, exchange rounds as
+//                   instant events. Multiple runs stack as separate
+//                   pids, so one trace file can hold a whole benchmark
+//                   sweep (load in ui.perfetto.dev or chrome://tracing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/registry.hpp"
+
+namespace stats {
+
+/// Cross-rank aggregate of one collected run.
+struct Summary {
+  /// Counters summed across ranks.
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  /// Simulated-seconds timers summed across ranks.
+  std::map<std::string, double, std::less<>> timers;
+  /// Per phase name: max over ranks of the rank's total seconds in that
+  /// phase (collectives sync clocks, so the max is the phase's
+  /// contribution to job completion time).
+  std::map<std::string, double, std::less<>> phase_seconds;
+  /// Per phase name: max over ranks of the phase memory high-water.
+  std::map<std::string, std::uint64_t, std::less<>> phase_mem_peak;
+  /// Shuffle traffic matrix: traffic[src][dst] = bytes src sent to dst.
+  std::vector<std::vector<std::uint64_t>> traffic;
+
+  std::uint64_t traffic_total() const noexcept;
+  /// Serialize as a JSON object (counters, timers, phases, traffic).
+  std::string json() const;
+};
+
+/// Owns one Registry per rank of a job. Create one, pass its address to
+/// simmpi::run, then read summary()/trace_json() after the run returns.
+class Collector {
+ public:
+  Collector() = default;
+
+  /// (Re-)size for a job; called by simmpi::run before rank threads
+  /// start. Discards any previous run's data.
+  void reset(int nranks);
+
+  int ranks() const noexcept { return static_cast<int>(registries_.size()); }
+  Registry& rank(int r) { return registries_[static_cast<std::size_t>(r)]; }
+  const Registry& rank(int r) const {
+    return registries_[static_cast<std::size_t>(r)];
+  }
+
+  Summary summary() const;
+  /// Complete single-run Chrome trace-event document.
+  std::string trace_json() const;
+
+ private:
+  std::vector<Registry> registries_;
+};
+
+/// Incremental trace-event document builder (one pid per added run).
+class TraceWriter {
+ public:
+  /// Append all events of a collected run as process `pid = runs so
+  /// far`, labelled `process_name` in the viewer.
+  void add_run(const Collector& collector, std::string_view process_name);
+
+  bool empty() const noexcept { return runs_ == 0; }
+  int runs() const noexcept { return runs_; }
+
+  /// Complete trace-event JSON document.
+  std::string json() const;
+
+ private:
+  std::string events_;  // comma-separated event objects
+  int runs_ = 0;
+};
+
+}  // namespace stats

@@ -1,0 +1,110 @@
+#include "stats/registry.hpp"
+
+#include <algorithm>
+
+#include "memtrack/tracker.hpp"
+#include "simtime/clock.hpp"
+
+namespace stats {
+
+namespace {
+Registry*& current_slot() noexcept {
+  thread_local Registry* bound = nullptr;
+  return bound;
+}
+}  // namespace
+
+Registry* current() noexcept { return current_slot(); }
+
+ScopedBind::ScopedBind(Registry* registry) noexcept
+    : previous_(current_slot()) {
+  current_slot() = registry;
+}
+
+ScopedBind::~ScopedBind() { current_slot() = previous_; }
+
+void Registry::bind(int rank, int nranks, const simtime::Clock* clock,
+                    const memtrack::Tracker* tracker) {
+  rank_ = rank;
+  nranks_ = nranks;
+  clock_ = clock;
+  tracker_ = tracker;
+  traffic_.assign(static_cast<std::size_t>(std::max(nranks, 0)), 0);
+}
+
+double Registry::now() const noexcept {
+  return clock_ != nullptr ? clock_->now() : 0.0;
+}
+
+std::uint64_t Registry::mem_current() const noexcept {
+  return tracker_ != nullptr ? tracker_->current() : 0;
+}
+
+std::uint64_t Registry::mem_peak() const noexcept {
+  return tracker_ != nullptr ? tracker_->peak() : 0;
+}
+
+void Registry::phase_begin(std::string_view name) {
+  OpenPhase open;
+  open.name.assign(name);
+  open.begin = now();
+  open.mem_begin = mem_current();
+  open.peak_at_begin = mem_peak();
+  open_.push_back(std::move(open));
+}
+
+void Registry::phase_end() {
+  if (open_.empty()) return;  // unbalanced end: drop rather than crash
+  OpenPhase open = std::move(open_.back());
+  open_.pop_back();
+
+  PhaseRecord record;
+  record.name = std::move(open.name);
+  record.depth = static_cast<int>(open_.size());
+  record.begin = open.begin;
+  record.end = now();
+  record.mem_begin = open.mem_begin;
+  record.mem_end = mem_current();
+  // The tracker's high-water is monotone, so a peak raised during this
+  // phase is the phase's true high-water; otherwise the best
+  // non-invasive sample is the larger endpoint.
+  const std::uint64_t peak_now = mem_peak();
+  record.mem_peak = peak_now > open.peak_at_begin
+                        ? peak_now
+                        : std::max(record.mem_begin, record.mem_end);
+  phases_.push_back(std::move(record));
+}
+
+void Registry::add(std::string_view counter, std::uint64_t delta) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::add_seconds(std::string_view timer, double seconds) {
+  auto it = timers_.find(timer);
+  if (it == timers_.end()) {
+    timers_.emplace(std::string(timer), seconds);
+  } else {
+    it->second += seconds;
+  }
+}
+
+void Registry::instant(std::string_view name) {
+  instants_.push_back({std::string(name), now()});
+}
+
+void Registry::record_traffic(int dest, std::uint64_t bytes) {
+  if (dest < 0 || static_cast<std::size_t>(dest) >= traffic_.size()) return;
+  traffic_[static_cast<std::size_t>(dest)] += bytes;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace stats

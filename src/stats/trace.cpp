@@ -1,0 +1,182 @@
+#include "stats/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "stats/jsonlite.hpp"
+
+namespace stats {
+
+namespace {
+
+void append_kv_u64(std::string& out, const char* key, std::uint64_t value,
+                   bool* first) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, *first ? "" : ",",
+                key, value);
+  out += buf;
+  *first = false;
+}
+
+void append_kv_f64(std::string& out, const char* key, double value,
+                   bool* first) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%.9g", *first ? "" : ",", key,
+                value);
+  out += buf;
+  *first = false;
+}
+
+constexpr double kMicros = 1e6;  // simulated seconds -> trace microseconds
+
+}  // namespace
+
+std::uint64_t Summary::traffic_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& row : traffic) {
+    for (const std::uint64_t cell : row) total += cell;
+  }
+  return total;
+}
+
+std::string Summary::json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    append_kv_u64(out, jsonlite::escape(name).c_str(), value, &first);
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, value] : timers) {
+    append_kv_f64(out, jsonlite::escape(name).c_str(), value, &first);
+  }
+  out += "},\"phases\":{";
+  first = true;
+  for (const auto& [name, seconds] : phase_seconds) {
+    out += first ? "" : ",";
+    first = false;
+    out += "\"" + jsonlite::escape(name) + "\":{";
+    bool inner = true;
+    append_kv_f64(out, "seconds", seconds, &inner);
+    const auto peak = phase_mem_peak.find(name);
+    append_kv_u64(out, "mem_peak",
+                  peak == phase_mem_peak.end() ? 0 : peak->second, &inner);
+    out += "}";
+  }
+  out += "},\"traffic\":{";
+  {
+    bool inner = true;
+    append_kv_u64(out, "total_bytes", traffic_total(), &inner);
+  }
+  out += ",\"matrix\":[";
+  for (std::size_t src = 0; src < traffic.size(); ++src) {
+    out += src == 0 ? "[" : ",[";
+    for (std::size_t dst = 0; dst < traffic[src].size(); ++dst) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%s%" PRIu64, dst == 0 ? "" : ",",
+                    traffic[src][dst]);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "]}}";
+  return out;
+}
+
+void Collector::reset(int nranks) {
+  registries_.clear();
+  registries_.resize(static_cast<std::size_t>(std::max(nranks, 0)));
+}
+
+Summary Collector::summary() const {
+  Summary out;
+  out.traffic.assign(registries_.size(),
+                     std::vector<std::uint64_t>(registries_.size(), 0));
+  // Per-rank totals per phase name, folded into the cross-rank max.
+  std::map<std::string, double, std::less<>> rank_phase;
+  for (std::size_t r = 0; r < registries_.size(); ++r) {
+    const Registry& reg = registries_[r];
+    for (const auto& [name, value] : reg.counters()) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, value] : reg.timers()) {
+      out.timers[name] += value;
+    }
+    rank_phase.clear();
+    for (const PhaseRecord& phase : reg.phases()) {
+      rank_phase[phase.name] += phase.seconds();
+      auto& peak = out.phase_mem_peak[phase.name];
+      peak = std::max(peak, phase.mem_peak);
+    }
+    for (const auto& [name, seconds] : rank_phase) {
+      auto& slot = out.phase_seconds[name];
+      slot = std::max(slot, seconds);
+    }
+    const auto& row = reg.traffic();
+    for (std::size_t d = 0; d < row.size() && d < registries_.size(); ++d) {
+      out.traffic[r][d] = row[d];
+    }
+  }
+  return out;
+}
+
+std::string Collector::trace_json() const {
+  TraceWriter writer;
+  writer.add_run(*this, "job");
+  return writer.json();
+}
+
+void TraceWriter::add_run(const Collector& collector,
+                          std::string_view process_name) {
+  const int pid = runs_++;
+  char buf[256];
+  auto event = [&](const char* text) {
+    if (!events_.empty()) events_ += ",\n";
+    events_ += text;
+  };
+
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":"
+                "\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                pid, jsonlite::escape(process_name).c_str());
+  event(buf);
+
+  for (int r = 0; r < collector.ranks(); ++r) {
+    const Registry& reg = collector.rank(r);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"rank %d\"}}",
+                  pid, r, r);
+    event(buf);
+    for (const PhaseRecord& phase : reg.phases()) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+          "\"ts\":%.6f,\"dur\":%.6f,\"args\":{\"depth\":%d,"
+          "\"mem_begin\":%" PRIu64 ",\"mem_end\":%" PRIu64
+          ",\"mem_peak\":%" PRIu64 "}}",
+          pid, r, jsonlite::escape(phase.name).c_str(),
+          phase.begin * kMicros, phase.seconds() * kMicros, phase.depth,
+          phase.mem_begin, phase.mem_end, phase.mem_peak);
+      event(buf);
+    }
+    for (const InstantRecord& mark : reg.instants()) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                    "\"name\":\"%s\",\"ts\":%.6f}",
+                    pid, r, jsonlite::escape(mark.name).c_str(),
+                    mark.time * kMicros);
+      event(buf);
+    }
+  }
+}
+
+std::string TraceWriter::json() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += events_;
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace stats

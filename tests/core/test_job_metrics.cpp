@@ -1,0 +1,242 @@
+// JobMetrics consistency across the paper's optimization paths: the
+// baseline, KV compression (cps), partial reduction (pr), and the KV
+// hint must all produce the same answer on the same input while their
+// metrics expose exactly the volume differences the optimizations
+// promise.
+#include "mimir/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using mimir::Emitter;
+using mimir::Job;
+using mimir::JobConfig;
+using mimir::JobMetrics;
+using mimir::KVView;
+using mimir::ValueReader;
+using simmpi::Context;
+
+constexpr std::uint64_t kOne = 1;
+constexpr int kRanks = 4;
+
+void wc_map(std::string_view chunk, Emitter& out) {
+  std::size_t start = 0;
+  while (start < chunk.size()) {
+    const std::size_t end = chunk.find_first_of(" \n\t", start);
+    const std::size_t stop =
+        end == std::string_view::npos ? chunk.size() : end;
+    if (stop > start) {
+      out.emit(chunk.substr(start, stop - start), mimir::as_view(kOne));
+    }
+    start = stop + 1;
+  }
+}
+
+void wc_reduce(std::string_view key, ValueReader& values, Emitter& out) {
+  std::uint64_t total = 0;
+  std::string_view v;
+  while (values.next(v)) total += mimir::as_u64(v);
+  out.emit(key, mimir::as_view(total));
+}
+
+void wc_combine(std::string_view, std::string_view a, std::string_view b,
+                std::string& out) {
+  const std::uint64_t total = mimir::as_u64(a) + mimir::as_u64(b);
+  out.assign(mimir::as_view(total));
+}
+
+constexpr std::uint64_t kVocabulary = 97;
+
+/// Deterministic wordcount input: every word of a 97-word vocabulary,
+/// repeated with an LCG-scrambled order so keys interleave across pages.
+void write_inputs(pfs::FileSystem& fs) {
+  std::uint64_t state = 12345;
+  std::string text;
+  for (int i = 0; i < 480; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // First pass covers the whole vocabulary; the rest is scrambled.
+    const auto word = i < static_cast<int>(kVocabulary)
+                          ? static_cast<std::uint64_t>(i)
+                          : (state >> 33) % kVocabulary;
+    text += "word" + std::to_string(word);
+    text += (i % 11 == 10) ? '\n' : ' ';
+  }
+  text += '\n';
+  simtime::Clock clock;
+  fs.write_file("input/part0", text, clock);
+}
+
+struct VariantRun {
+  std::vector<JobMetrics> metrics{kRanks};  ///< indexed by rank
+  std::map<std::string, std::uint64_t> counts;  ///< gathered at rank 0
+
+  std::uint64_t sum(std::uint64_t JobMetrics::* field) const {
+    return std::accumulate(metrics.begin(), metrics.end(),
+                           std::uint64_t{0},
+                           [field](std::uint64_t acc, const JobMetrics& m) {
+                             return acc + m.*field;
+                           });
+  }
+};
+
+VariantRun run_variant(bool hint, bool pr, bool cps) {
+  const auto machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, kRanks);
+  write_inputs(fs);
+
+  VariantRun result;
+  std::mutex mutex;
+  simmpi::run(kRanks, machine, fs, [&](Context& ctx) {
+    JobConfig cfg;
+    cfg.page_size = 1 << 10;
+    cfg.comm_buffer = 1 << 10;  // small: forces several exchange rounds
+    if (hint) cfg.hint = mimir::KVHint::string_key_u64_value();
+    cfg.kv_compression = cps;
+
+    Job job(ctx, cfg);
+    const std::vector<std::string> files{"input/part0"};
+    job.map_text_files(files, wc_map,
+                       cps ? wc_combine : mimir::CombineFn{});
+    if (pr) {
+      job.partial_reduce(wc_combine);
+    } else {
+      job.reduce(wc_reduce);
+    }
+
+    std::string flat;
+    job.output().scan([&](const KVView& kv) {
+      flat += std::string(kv.key) + ' ' +
+              std::to_string(mimir::as_u64(kv.value)) + '\n';
+    });
+    const auto gathered = ctx.comm.gatherv(
+        0, std::span<const std::byte>(
+               reinterpret_cast<const std::byte*>(flat.data()),
+               flat.size()));
+
+    const std::scoped_lock lock(mutex);
+    result.metrics[static_cast<std::size_t>(ctx.rank())] = job.metrics();
+    if (ctx.rank() == 0) {
+      std::istringstream in(std::string(
+          reinterpret_cast<const char*>(gathered.data.data()),
+          gathered.data.size()));
+      std::string word;
+      std::uint64_t n = 0;
+      while (in >> word >> n) result.counts[word] += n;
+    }
+  });
+  return result;
+}
+
+class JobMetricsConsistency : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    baseline_ = new VariantRun(run_variant(false, false, false));
+    hint_ = new VariantRun(run_variant(true, false, false));
+    pr_ = new VariantRun(run_variant(false, true, false));
+    cps_ = new VariantRun(run_variant(false, false, true));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_; baseline_ = nullptr;
+    delete hint_; hint_ = nullptr;
+    delete pr_; pr_ = nullptr;
+    delete cps_; cps_ = nullptr;
+  }
+
+  static const VariantRun* baseline_;
+  static const VariantRun* hint_;
+  static const VariantRun* pr_;
+  static const VariantRun* cps_;
+};
+
+const VariantRun* JobMetricsConsistency::baseline_ = nullptr;
+const VariantRun* JobMetricsConsistency::hint_ = nullptr;
+const VariantRun* JobMetricsConsistency::pr_ = nullptr;
+const VariantRun* JobMetricsConsistency::cps_ = nullptr;
+
+TEST_F(JobMetricsConsistency, AllVariantsProduceIdenticalOutput) {
+  ASSERT_FALSE(baseline_->counts.empty());
+  EXPECT_EQ(baseline_->counts.size(), kVocabulary);
+  EXPECT_EQ(hint_->counts, baseline_->counts);
+  EXPECT_EQ(pr_->counts, baseline_->counts);
+  EXPECT_EQ(cps_->counts, baseline_->counts);
+}
+
+TEST_F(JobMetricsConsistency, ExchangeRoundsAgreeAcrossRanks) {
+  // alltoall is collective: every rank must see the same round count,
+  // and the small comm buffer must have forced more than one round.
+  for (const VariantRun* run : {baseline_, hint_, pr_, cps_}) {
+    const std::uint64_t rounds = run->metrics[0].exchange_rounds;
+    EXPECT_GE(rounds, 2u);
+    for (const JobMetrics& m : run->metrics) {
+      EXPECT_EQ(m.exchange_rounds, rounds);
+    }
+  }
+}
+
+TEST_F(JobMetricsConsistency, UniqueKeysAgreeAcrossVariants) {
+  // Keys are partitioned by hash, so per-rank unique key counts sum to
+  // the vocabulary size no matter which optimization path ran.
+  const auto unique = &JobMetrics::unique_keys;
+  EXPECT_EQ(baseline_->sum(unique), kVocabulary);
+  EXPECT_EQ(hint_->sum(unique), kVocabulary);
+  EXPECT_EQ(pr_->sum(unique), kVocabulary);
+  EXPECT_EQ(cps_->sum(unique), kVocabulary);
+  EXPECT_EQ(baseline_->sum(&JobMetrics::output_kvs), kVocabulary);
+  EXPECT_EQ(pr_->sum(&JobMetrics::output_kvs), kVocabulary);
+}
+
+TEST_F(JobMetricsConsistency, CompressionShrinksShuffleVolume) {
+  // cps merges duplicate keys before the exchange: fewer emitted KVs,
+  // fewer bytes on the wire, and a nonzero combined count. The other
+  // variants never combine during map.
+  EXPECT_EQ(baseline_->sum(&JobMetrics::combined_kvs), 0u);
+  EXPECT_EQ(hint_->sum(&JobMetrics::combined_kvs), 0u);
+  EXPECT_EQ(pr_->sum(&JobMetrics::combined_kvs), 0u);
+  EXPECT_GT(cps_->sum(&JobMetrics::combined_kvs), 0u);
+
+  EXPECT_LT(cps_->sum(&JobMetrics::map_emitted_kvs),
+            baseline_->sum(&JobMetrics::map_emitted_kvs));
+  EXPECT_LT(cps_->sum(&JobMetrics::map_emitted_bytes),
+            baseline_->sum(&JobMetrics::map_emitted_bytes));
+  EXPECT_EQ(cps_->sum(&JobMetrics::map_emitted_kvs) +
+                cps_->sum(&JobMetrics::combined_kvs),
+            baseline_->sum(&JobMetrics::map_emitted_kvs));
+}
+
+TEST_F(JobMetricsConsistency, HintShrinksEncodedBytes) {
+  // The KV hint drops the per-record value-length field: same KV count,
+  // strictly smaller encoding, both on the wire and in the container.
+  EXPECT_EQ(hint_->sum(&JobMetrics::map_emitted_kvs),
+            baseline_->sum(&JobMetrics::map_emitted_kvs));
+  EXPECT_LT(hint_->sum(&JobMetrics::map_emitted_bytes),
+            baseline_->sum(&JobMetrics::map_emitted_bytes));
+  EXPECT_LT(hint_->sum(&JobMetrics::intermediate_bytes),
+            baseline_->sum(&JobMetrics::intermediate_bytes));
+}
+
+TEST_F(JobMetricsConsistency, InputAndIntermediateAccountingMatches) {
+  // Every variant reads the same input, and for the non-combining
+  // variants every emitted KV lands in some rank's intermediate
+  // container.
+  const auto input = baseline_->sum(&JobMetrics::input_bytes);
+  EXPECT_GT(input, 0u);
+  EXPECT_EQ(hint_->sum(&JobMetrics::input_bytes), input);
+  EXPECT_EQ(pr_->sum(&JobMetrics::input_bytes), input);
+  EXPECT_EQ(cps_->sum(&JobMetrics::input_bytes), input);
+  for (const VariantRun* run : {baseline_, hint_, pr_}) {
+    EXPECT_EQ(run->sum(&JobMetrics::intermediate_kvs),
+              run->sum(&JobMetrics::map_emitted_kvs));
+  }
+}
+
+}  // namespace

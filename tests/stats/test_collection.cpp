@@ -1,0 +1,217 @@
+// End-to-end stats collection through the simulated runtime: phase
+// scopes, counters, the traffic matrix, and — crucially — the
+// accounting-only invariant: collecting stats must not change any
+// simulated result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/wordcount.hpp"
+#include "mimir/checkpoint.hpp"
+#include "simmpi/runtime.hpp"
+#include "stats/trace.hpp"
+
+namespace {
+
+using simmpi::Context;
+
+struct Workload {
+  simtime::MachineProfile machine;
+  pfs::FileSystem fs;
+  apps::wc::RunOptions opts;
+
+  static simtime::MachineProfile profile() {
+    auto machine = simtime::MachineProfile::test_profile();
+    machine.ranks_per_node = 1;  // deterministic per-node peaks
+    return machine;
+  }
+
+  explicit Workload(int ranks) : machine(profile()), fs(machine, ranks) {
+    apps::wc::GenOptions gen;
+    gen.total_bytes = 64 << 10;
+    gen.num_files = 2;
+    opts.files = apps::wc::generate_uniform(fs, "wc", gen);
+    // Small buffers force several exchange rounds per rank.
+    opts.page_size = 4 << 10;
+    opts.comm_buffer = 4 << 10;
+  }
+};
+
+constexpr int kRanks = 4;
+
+/// Run wordcount and capture rank 0's Result plus the JobStats.
+template <typename RunFn>
+std::pair<simmpi::JobStats, apps::wc::Result> run_wc(
+    Workload& wl, stats::Collector* collector, const RunFn& fn) {
+  std::mutex mutex;
+  apps::wc::Result result;
+  const auto stats = simmpi::run(
+      kRanks, wl.machine, wl.fs,
+      [&](Context& ctx) {
+        const auto local = fn(ctx, wl.opts);
+        if (ctx.rank() == 0) {
+          const std::scoped_lock lock(mutex);
+          result = local;
+        }
+      },
+      collector);
+  return {stats, result};
+}
+
+TEST(StatsCollection, CollectionIsAccountingOnly) {
+  // Identical runs with and without a collector must produce identical
+  // simulated times, identical peak memory, and identical answers.
+  Workload wl(kRanks);
+  const auto run = [](Context& ctx, const apps::wc::RunOptions& opts) {
+    return apps::wc::run_mimir(ctx, opts);
+  };
+  const auto [plain, plain_result] = run_wc(wl, nullptr, run);
+  stats::Collector collector;
+  const auto [collected, collected_result] = run_wc(wl, &collector, run);
+
+  EXPECT_EQ(plain.sim_time, collected.sim_time);  // bit-identical
+  EXPECT_EQ(plain.node_peak, collected.node_peak);
+  EXPECT_EQ(plain.node_peaks, collected.node_peaks);
+  EXPECT_EQ(plain.shuffle_bytes, collected.shuffle_bytes);
+  EXPECT_EQ(plain_result.checksum, collected_result.checksum);
+  EXPECT_EQ(plain_result.total_words, collected_result.total_words);
+  EXPECT_GT(collector.summary().traffic_total(), 0u);
+}
+
+TEST(StatsCollection, CollectionIsAccountingOnlyForMrMpi) {
+  Workload wl(kRanks);
+  const auto run = [](Context& ctx, const apps::wc::RunOptions& opts) {
+    return apps::wc::run_mrmpi(ctx, opts);
+  };
+  const auto [plain, plain_result] = run_wc(wl, nullptr, run);
+  stats::Collector collector;
+  const auto [collected, collected_result] = run_wc(wl, &collector, run);
+
+  EXPECT_EQ(plain.sim_time, collected.sim_time);
+  EXPECT_EQ(plain.node_peak, collected.node_peak);
+  EXPECT_EQ(plain_result.checksum, collected_result.checksum);
+  EXPECT_GT(collector.summary().traffic_total(), 0u);
+}
+
+TEST(StatsCollection, PhasesCountersAndTrafficAreConsistent) {
+  Workload wl(kRanks);
+  stats::Collector collector;
+  run_wc(wl, &collector, [](Context& ctx, const apps::wc::RunOptions& o) {
+    return apps::wc::run_mimir(ctx, o);
+  });
+
+  ASSERT_EQ(collector.ranks(), kRanks);
+  std::uint64_t matrix_from_rows = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    const stats::Registry& reg = collector.rank(r);
+    ASSERT_EQ(reg.open_depth(), 0) << "rank " << r;
+
+    auto count = [&](std::string_view name) {
+      return std::count_if(
+          reg.phases().begin(), reg.phases().end(),
+          [&](const stats::PhaseRecord& p) { return p.name == name; });
+    };
+    EXPECT_EQ(count("map"), 1) << "rank " << r;
+    EXPECT_EQ(count("convert"), 1) << "rank " << r;
+    EXPECT_EQ(count("convert.pass1"), 1) << "rank " << r;
+    EXPECT_EQ(count("convert.pass2"), 1) << "rank " << r;
+    EXPECT_EQ(count("reduce"), 1) << "rank " << r;
+    // One aggregate scope and one instant per exchange round.
+    EXPECT_EQ(static_cast<std::uint64_t>(count("aggregate")),
+              reg.counter("shuffle.rounds"));
+    EXPECT_EQ(reg.instants().size(), reg.counter("shuffle.rounds"));
+    EXPECT_GE(reg.counter("shuffle.rounds"), 2u);  // buffers were small
+
+    // Aggregate scopes nest inside the map scope; convert passes nest
+    // inside convert.
+    for (const auto& phase : reg.phases()) {
+      if (phase.name == "aggregate" || phase.name == "convert.pass1" ||
+          phase.name == "convert.pass2") {
+        EXPECT_EQ(phase.depth, 1) << phase.name;
+      } else {
+        EXPECT_EQ(phase.depth, 0) << phase.name;
+      }
+      EXPECT_LE(phase.begin, phase.end) << phase.name;
+    }
+
+    // The rank's traffic row accounts for exactly the bytes its shuffle
+    // counters saw.
+    const auto row_sum = std::accumulate(reg.traffic().begin(),
+                                         reg.traffic().end(),
+                                         std::uint64_t{0});
+    EXPECT_EQ(row_sum, reg.counter("shuffle.bytes_sent")) << "rank " << r;
+    matrix_from_rows += row_sum;
+  }
+
+  // Matrix row and column sums both equal the total shuffled bytes.
+  const auto summary = collector.summary();
+  EXPECT_EQ(summary.traffic_total(), matrix_from_rows);
+  std::uint64_t col_total = 0;
+  for (std::size_t dst = 0; dst < summary.traffic.size(); ++dst) {
+    for (std::size_t src = 0; src < summary.traffic.size(); ++src) {
+      col_total += summary.traffic[src][dst];
+    }
+  }
+  EXPECT_EQ(col_total, summary.traffic_total());
+  EXPECT_EQ(summary.counters.at("shuffle.bytes_sent"),
+            summary.traffic_total());
+
+  // Every phase got a cross-rank time and memory aggregate.
+  for (const char* name : {"map", "aggregate", "convert", "reduce"}) {
+    EXPECT_GT(summary.phase_seconds.at(name), 0.0) << name;
+    EXPECT_GT(summary.phase_mem_peak.at(name), 0u) << name;
+  }
+}
+
+TEST(StatsCollection, CheckpointAndPfsCountersBalance) {
+  stats::Collector collector;
+  simmpi::run_test(
+      2,
+      [](Context& ctx) {
+        mimir::JobConfig cfg;
+        cfg.page_size = 4 << 10;
+        cfg.comm_buffer = 4 << 10;
+        mimir::Job job(ctx, cfg);
+        job.map_custom([&](mimir::Emitter& out) {
+          for (int i = 0; i < 200; ++i) {
+            out.emit("key" + std::to_string(i), "value");
+          }
+        });
+        mimir::checkpoint_job(job, "ck");
+        mimir::Job resumed = mimir::resume_job(ctx, cfg, "ck");
+        resumed.partial_reduce(
+            [](std::string_view, std::string_view a, std::string_view,
+               std::string& out) { out.assign(a); });
+      },
+      &collector);
+
+  for (int r = 0; r < 2; ++r) {
+    const stats::Registry& reg = collector.rank(r);
+    auto has_phase = [&](std::string_view name) {
+      return std::any_of(
+          reg.phases().begin(), reg.phases().end(),
+          [&](const stats::PhaseRecord& p) { return p.name == name; });
+    };
+    EXPECT_TRUE(has_phase("checkpoint_save")) << "rank " << r;
+    EXPECT_TRUE(has_phase("checkpoint_load")) << "rank " << r;
+    EXPECT_TRUE(has_phase("partial_reduce")) << "rank " << r;
+    // The shard written is the shard read back.
+    EXPECT_GT(reg.counter("checkpoint.bytes_written"), 0u);
+    EXPECT_EQ(reg.counter("checkpoint.bytes_written"),
+              reg.counter("checkpoint.bytes_read"));
+    // The PFS counters saw at least the checkpoint traffic, and the
+    // simulated I/O time was attributed.
+    EXPECT_GE(reg.counter("pfs.bytes_written"),
+              reg.counter("checkpoint.bytes_written"));
+    EXPECT_GE(reg.counter("pfs.bytes_read"),
+              reg.counter("checkpoint.bytes_read"));
+    EXPECT_GT(reg.counter("pfs.write_ops"), 0u);
+    EXPECT_GT(reg.timers().at("pfs.io_seconds"), 0.0);
+  }
+}
+
+}  // namespace

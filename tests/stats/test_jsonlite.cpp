@@ -1,0 +1,59 @@
+#include "stats/jsonlite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+using stats::jsonlite::escape;
+using stats::jsonlite::parse;
+using stats::jsonlite::Value;
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(JsonParse, ParsesScalarsArraysAndObjects) {
+  const Value doc = parse(
+      R"({"name":"wc","ok":true,"none":null,"n":42,"f":-1.5,)"
+      R"("xs":[1,2,3],"nested":{"deep":"value"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").str, "wc");
+  EXPECT_TRUE(doc.at("ok").boolean);
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.at("n").as_u64(), 42u);
+  EXPECT_DOUBLE_EQ(doc.at("f").number, -1.5);
+  ASSERT_EQ(doc.at("xs").array.size(), 3u);
+  EXPECT_EQ(doc.at("xs").array[2].as_u64(), 3u);
+  EXPECT_EQ(doc.at("nested").at("deep").str, "value");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), mutil::ConfigError);
+}
+
+TEST(JsonParse, EscapeRoundTrips) {
+  const std::string original = "mix \"quotes\"\\slashes\n\ttabs";
+  const Value doc = parse("{\"s\":\"" + escape(original) + "\"}");
+  EXPECT_EQ(doc.at("s").str, original);
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  const Value doc = parse(R"(["\u0041\u00e9"])");
+  EXPECT_EQ(doc.array[0].str, "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), mutil::ConfigError);
+  EXPECT_THROW(parse("{"), mutil::ConfigError);
+  EXPECT_THROW(parse("[1,]"), mutil::ConfigError);
+  EXPECT_THROW(parse("{\"a\":1,}"), mutil::ConfigError);
+  EXPECT_THROW(parse("\"unterminated"), mutil::ConfigError);
+  EXPECT_THROW(parse("tru"), mutil::ConfigError);
+  EXPECT_THROW(parse("{} garbage"), mutil::ConfigError);
+  EXPECT_THROW(parse("{\"a\" 1}"), mutil::ConfigError);
+}
+
+}  // namespace

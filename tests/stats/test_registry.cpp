@@ -1,0 +1,141 @@
+#include "stats/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memtrack/tracker.hpp"
+#include "simtime/clock.hpp"
+
+namespace {
+
+using memtrack::TrackedBuffer;
+using memtrack::Tracker;
+using simtime::Clock;
+using stats::PhaseScope;
+using stats::Registry;
+using stats::ScopedBind;
+
+TEST(Registry, PhaseNestingAndOrdering) {
+  Clock clock;
+  Registry reg;
+  reg.bind(0, 1, &clock, nullptr);
+
+  reg.phase_begin("outer");
+  clock.advance(1.0);
+  reg.phase_begin("inner");
+  EXPECT_EQ(reg.open_depth(), 2);
+  clock.advance(0.5);
+  reg.phase_end();
+  clock.advance(0.25);
+  reg.phase_end();
+  EXPECT_EQ(reg.open_depth(), 0);
+
+  // Completion order: children close before their parents.
+  ASSERT_EQ(reg.phases().size(), 2u);
+  const auto& inner = reg.phases()[0];
+  const auto& outer = reg.phases()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_DOUBLE_EQ(inner.begin, 1.0);
+  EXPECT_DOUBLE_EQ(inner.end, 1.5);
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_DOUBLE_EQ(outer.begin, 0.0);
+  EXPECT_DOUBLE_EQ(outer.end, 1.75);
+  // The child interval lies inside the parent interval.
+  EXPECT_GE(inner.begin, outer.begin);
+  EXPECT_LE(inner.end, outer.end);
+}
+
+TEST(Registry, UnbalancedPhaseEndIsIgnored) {
+  Registry reg;
+  reg.bind(0, 1, nullptr, nullptr);
+  reg.phase_end();  // no open phase: must not crash or record anything
+  EXPECT_TRUE(reg.phases().empty());
+}
+
+TEST(Registry, CountersAreMonotonic) {
+  Registry reg;
+  reg.bind(0, 1, nullptr, nullptr);
+  EXPECT_EQ(reg.counter("bytes"), 0u);
+  std::uint64_t previous = 0;
+  for (const std::uint64_t delta : {5u, 0u, 17u, 1u}) {
+    reg.add("bytes", delta);
+    EXPECT_GE(reg.counter("bytes"), previous);
+    previous = reg.counter("bytes");
+  }
+  EXPECT_EQ(reg.counter("bytes"), 23u);
+  reg.add_seconds("io", 0.5);
+  reg.add_seconds("io", 0.25);
+  EXPECT_DOUBLE_EQ(reg.timers().at("io"), 0.75);
+}
+
+TEST(Registry, PhaseMemorySamplesTrackHighWater) {
+  Clock clock;
+  Tracker tracker;
+  Registry reg;
+  reg.bind(0, 1, &clock, &tracker);
+
+  TrackedBuffer base(tracker, 100);
+  reg.phase_begin("allocating");
+  {
+    TrackedBuffer spike(tracker, 1000);  // raises the rank's high-water
+  }
+  reg.phase_end();
+  ASSERT_EQ(reg.phases().size(), 1u);
+  EXPECT_EQ(reg.phases()[0].mem_begin, 100u);
+  EXPECT_EQ(reg.phases()[0].mem_end, 100u);
+  EXPECT_EQ(reg.phases()[0].mem_peak, 1100u);
+
+  // A phase that does not move the lifetime peak samples its endpoints.
+  reg.phase_begin("quiet");
+  TrackedBuffer small(tracker, 50);
+  reg.phase_end();
+  ASSERT_EQ(reg.phases().size(), 2u);
+  EXPECT_EQ(reg.phases()[1].mem_peak, 150u);
+}
+
+TEST(Registry, TrafficRowIsBoundsChecked) {
+  Registry reg;
+  reg.bind(2, 4, nullptr, nullptr);
+  reg.record_traffic(0, 10);
+  reg.record_traffic(3, 30);
+  reg.record_traffic(3, 5);
+  reg.record_traffic(-1, 99);  // dropped
+  reg.record_traffic(4, 99);   // dropped
+  ASSERT_EQ(reg.traffic().size(), 4u);
+  EXPECT_EQ(reg.traffic()[0], 10u);
+  EXPECT_EQ(reg.traffic()[1], 0u);
+  EXPECT_EQ(reg.traffic()[3], 35u);
+}
+
+TEST(Registry, ScopedBindRestoresPreviousBinding) {
+  EXPECT_EQ(stats::current(), nullptr);
+  Registry a, b;
+  {
+    ScopedBind bind_a(&a);
+    EXPECT_EQ(stats::current(), &a);
+    {
+      ScopedBind bind_b(&b);
+      EXPECT_EQ(stats::current(), &b);
+    }
+    EXPECT_EQ(stats::current(), &a);
+  }
+  EXPECT_EQ(stats::current(), nullptr);
+}
+
+TEST(Registry, PhaseScopeIsNullSafeWithoutBinding) {
+  ASSERT_EQ(stats::current(), nullptr);
+  {
+    PhaseScope scope("ignored");  // must be a no-op, not a crash
+  }
+  Registry reg;
+  reg.bind(0, 1, nullptr, nullptr);
+  {
+    ScopedBind bind(&reg);
+    PhaseScope scope("seen");
+  }
+  ASSERT_EQ(reg.phases().size(), 1u);
+  EXPECT_EQ(reg.phases()[0].name, "seen");
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+#include "stats/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "simtime/clock.hpp"
+#include "stats/jsonlite.hpp"
+
+namespace {
+
+using stats::Collector;
+using stats::jsonlite::Value;
+using stats::jsonlite::parse;
+
+/// Three ranks, two phases each, one exchange-round instant, and a full
+/// traffic matrix. Clocks live alongside the collector (registries keep
+/// pointers to them).
+struct Sample {
+  std::vector<simtime::Clock> clocks = std::vector<simtime::Clock>(3);
+  Collector collector;
+
+  Sample() {
+    collector.reset(3);
+    for (int r = 0; r < 3; ++r) {
+      simtime::Clock& clock = clocks[static_cast<std::size_t>(r)];
+      auto& reg = collector.rank(r);
+      reg.bind(r, 3, &clock, nullptr);
+      reg.phase_begin("map");
+      clock.advance(1.0 + r);
+      reg.instant("exchange_round");
+      for (int d = 0; d < 3; ++d) {
+        const auto bytes = static_cast<std::uint64_t>(100 * (r + 1) + d);
+        reg.record_traffic(d, bytes);
+        reg.add("shuffle.bytes_sent", bytes);
+      }
+      reg.phase_end();
+      reg.phase_begin("reduce");
+      clock.advance(0.5);
+      reg.phase_end();
+      reg.add("reduce.output_kvs", static_cast<std::uint64_t>(10 + r));
+    }
+  }
+};
+
+TEST(Summary, AggregatesAcrossRanks) {
+  const Sample sample;
+  const auto summary = sample.collector.summary();
+
+  // Counters sum across ranks.
+  EXPECT_EQ(summary.counters.at("reduce.output_kvs"), 33u);
+  // Phase seconds are the max over ranks (rank 2 is slowest: 3.0s map).
+  EXPECT_DOUBLE_EQ(summary.phase_seconds.at("map"), 3.0);
+  EXPECT_DOUBLE_EQ(summary.phase_seconds.at("reduce"), 0.5);
+
+  // Row r of the matrix is rank r's traffic row, and row+column sums
+  // account for every shuffled byte.
+  ASSERT_EQ(summary.traffic.size(), 3u);
+  std::uint64_t row_sum = 0, col_sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    row_sum += summary.traffic[1][static_cast<std::size_t>(i)];
+    col_sum += summary.traffic[static_cast<std::size_t>(i)][1];
+  }
+  EXPECT_EQ(row_sum, 200u + 201u + 202u);
+  EXPECT_EQ(col_sum, 101u + 201u + 301u);
+  EXPECT_EQ(summary.traffic_total(), 303u + 603u + 903u);
+  EXPECT_EQ(summary.traffic_total(),
+            summary.counters.at("shuffle.bytes_sent"));
+}
+
+TEST(Summary, JsonRoundTrips) {
+  const Sample sample;
+  const auto summary = sample.collector.summary();
+  const Value doc = parse(summary.json());
+  EXPECT_EQ(doc.at("counters").at("reduce.output_kvs").as_u64(), 33u);
+  EXPECT_DOUBLE_EQ(doc.at("phases").at("map").at("seconds").number, 3.0);
+  EXPECT_EQ(doc.at("traffic").at("total_bytes").as_u64(),
+            summary.traffic_total());
+  std::uint64_t matrix_total = 0;
+  for (const Value& row : doc.at("traffic").at("matrix").array) {
+    for (const Value& cell : row.array) matrix_total += cell.as_u64();
+  }
+  EXPECT_EQ(matrix_total, summary.traffic_total());
+}
+
+TEST(TraceWriter, OneDurationEventPerPhasePerRank) {
+  const Sample sample;
+  const Value doc = parse(sample.collector.trace_json());
+  const Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  // (tid, name) -> count of complete duration events.
+  std::map<std::pair<int, std::string>, int> durations;
+  int instants = 0;
+  for (const Value& event : events.array) {
+    const std::string& ph = event.at("ph").str;
+    const int tid = static_cast<int>(event.at("tid").number);
+    if (ph == "X") {
+      EXPECT_GE(event.at("ts").number, 0.0);
+      EXPECT_GE(event.at("dur").number, 0.0);
+      ++durations[{tid, event.at("name").str}];
+    } else if (ph == "i") {
+      EXPECT_EQ(event.at("name").str, "exchange_round");
+      ++instants;
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ((durations[{r, "map"}]), 1) << "rank " << r;
+    EXPECT_EQ((durations[{r, "reduce"}]), 1) << "rank " << r;
+  }
+  EXPECT_EQ(durations.size(), 6u);  // no stray duration events
+  EXPECT_EQ(instants, 3);
+}
+
+TEST(TraceWriter, MultipleRunsGetDistinctPids) {
+  stats::TraceWriter writer;
+  EXPECT_TRUE(writer.empty());
+  const Sample sample;
+  writer.add_run(sample.collector, "first");
+  writer.add_run(sample.collector, "second");
+  EXPECT_EQ(writer.runs(), 2);
+
+  const Value doc = parse(writer.json());
+  bool saw_pid0 = false, saw_pid1 = false;
+  for (const Value& event : doc.at("traceEvents").array) {
+    const int pid = static_cast<int>(event.at("pid").number);
+    EXPECT_TRUE(pid == 0 || pid == 1);
+    saw_pid0 = saw_pid0 || pid == 0;
+    saw_pid1 = saw_pid1 || pid == 1;
+  }
+  EXPECT_TRUE(saw_pid0);
+  EXPECT_TRUE(saw_pid1);
+}
+
+}  // namespace
