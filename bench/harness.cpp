@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "check/checker.hpp"
 #include "mutil/error.hpp"
 #include "mutil/logging.hpp"
 #include "stats/jsonlite.hpp"
@@ -249,6 +250,9 @@ mutil::Config parse_cli(int argc, char** argv) {
   if (cfg.contains("mimir.log_level")) {
     mutil::set_log_level(
         mutil::parse_log_level(cfg.get_string("mimir.log_level", "warn")));
+  }
+  if (cfg.get_bool("mimir.check", false)) {
+    check::enable_global(check::CheckConfig::from(cfg));
   }
   return cfg;
 }

@@ -37,9 +37,11 @@ int main(int argc, char** argv) {
   apps::bfs::Result result;
   const auto stats = simmpi::run(ranks, machine, fs,
                                  [&](simmpi::Context& ctx) {
-                                   result = mrmpi
-                                                ? apps::bfs::run_mrmpi(ctx, opts)
-                                                : apps::bfs::run_mimir(ctx, opts);
+                                   // Only rank 0 writes the shared capture.
+                                   auto r =
+                                       mrmpi ? apps::bfs::run_mrmpi(ctx, opts)
+                                             : apps::bfs::run_mimir(ctx, opts);
+                                   if (ctx.rank() == 0) result = r;
                                  });
 
   std::printf("BFS (%s, %s)\n", mrmpi ? "MR-MPI" : "Mimir",

@@ -34,8 +34,10 @@ int main(int argc, char** argv) {
   apps::km::Result result;
   const auto stats =
       simmpi::run(ranks, machine, fs, [&](simmpi::Context& ctx) {
-        result = mrmpi ? apps::km::run_mrmpi(ctx, opts)
+        // Only rank 0 writes the shared capture.
+        auto r = mrmpi ? apps::km::run_mrmpi(ctx, opts)
                        : apps::km::run_mimir(ctx, opts);
+        if (ctx.rank() == 0) result = r;
       });
 
   std::printf("K-means (%s, %s)\n", mrmpi ? "MR-MPI" : "Mimir",

@@ -40,9 +40,11 @@ int main(int argc, char** argv) {
   apps::oc::Result result;
   const auto stats = simmpi::run(ranks, machine, fs,
                                  [&](simmpi::Context& ctx) {
-                                   result = mrmpi
-                                                ? apps::oc::run_mrmpi(ctx, opts)
-                                                : apps::oc::run_mimir(ctx, opts);
+                                   // Only rank 0 writes the shared capture.
+                                   auto r = mrmpi
+                                               ? apps::oc::run_mrmpi(ctx, opts)
+                                               : apps::oc::run_mimir(ctx, opts);
+                                   if (ctx.rank() == 0) result = r;
                                  });
 
   std::printf("Octree clustering (%s, %s)\n", mrmpi ? "MR-MPI" : "Mimir",

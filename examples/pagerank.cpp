@@ -39,9 +39,11 @@ int main(int argc, char** argv) {
   apps::pr::Result result;
   const auto stats = simmpi::run(ranks, machine, fs,
                                  [&](simmpi::Context& ctx) {
-                                   result = mrmpi
-                                                ? apps::pr::run_mrmpi(ctx, opts)
-                                                : apps::pr::run_mimir(ctx, opts);
+                                   // Only rank 0 writes the shared capture.
+                                   auto r =
+                                       mrmpi ? apps::pr::run_mrmpi(ctx, opts)
+                                             : apps::pr::run_mimir(ctx, opts);
+                                   if (ctx.rank() == 0) result = r;
                                  });
 
   std::printf("PageRank (%s, %s)\n", mrmpi ? "MR-MPI" : "Mimir",

@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
   apps::sort::Result result;
   const auto stats =
       simmpi::run(ranks, machine, fs, [&](simmpi::Context& ctx) {
-        result = mrmpi ? apps::sort::run_mrmpi(ctx, opts)
+        // Only rank 0 writes the shared capture.
+        auto r = mrmpi ? apps::sort::run_mrmpi(ctx, opts)
                        : apps::sort::run_mimir(ctx, opts);
+        if (ctx.rank() == 0) result = r;
       });
 
   std::printf("Sample sort (%s, %s)\n", mrmpi ? "MR-MPI" : "Mimir",

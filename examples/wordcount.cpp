@@ -52,9 +52,13 @@ int main(int argc, char** argv) {
   apps::wc::Result result;
   const auto stats = simmpi::run(ranks, machine, fs,
                                  [&](simmpi::Context& ctx) {
-                                   result = mrmpi
-                                                ? apps::wc::run_mrmpi(ctx, opts)
-                                                : apps::wc::run_mimir(ctx, opts);
+                                   // Every rank computes the same (allreduced)
+                                   // result; only rank 0 may write the shared
+                                   // capture.
+                                   auto r = mrmpi
+                                               ? apps::wc::run_mrmpi(ctx, opts)
+                                               : apps::wc::run_mimir(ctx, opts);
+                                   if (ctx.rank() == 0) result = r;
                                  });
 
   std::printf("WordCount (%s, %s, %s)\n", dataset.c_str(),

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo lint: invariant audit (always) + clang-tidy (when installed).
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir defaults to $MIMIR_BUILD_DIR, then ./build. clang-tidy
+#   needs the compile database (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+#   default in the top-level CMakeLists).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${MIMIR_BUILD_DIR:-${repo_root}/build}}"
+
+python3 "${repo_root}/scripts/check_headers.py"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "lint: clang-tidy not installed; skipping static analysis" >&2
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "lint: no compile_commands.json in ${build_dir};" \
+       "configure with cmake first" >&2
+  exit 1
+fi
+
+# Library and bench sources; tests lean on gtest macros that trip
+# readability checks without adding signal.
+mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/bench" \
+  -name '*.cpp' | sort)
+
+clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
+echo "lint: clang-tidy clean"

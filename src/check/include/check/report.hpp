@@ -1,0 +1,77 @@
+// Diagnostic sink of the mimir-check correctness analyzers.
+//
+// Every analyzer (collective-matching verifier, progress watchdog,
+// container lifecycle auditor) reports findings as structured
+// Diagnostics into one Report per checker, so failures are
+// machine-readable exactly like the bench BENCH_*.json documents: the
+// report renders both as human text and as a jsonlite JSON document.
+//
+// Thread-safety: rank threads and the watchdog thread add diagnostics
+// concurrently; all access is serialized on an internal mutex. The
+// report's own storage is untracked heap — adding a diagnostic never
+// charges a memtrack::Tracker and never advances a simulated clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace check {
+
+enum class Severity { kWarning, kError };
+
+const char* to_string(Severity severity) noexcept;
+
+/// One finding of one analyzer.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string analyzer;    ///< "collective" | "progress" | "lifecycle"
+  std::string code;        ///< stable slug, e.g. "alltoallv-count-mismatch"
+  std::string message;     ///< human-readable explanation
+  std::vector<int> ranks;  ///< global ranks implicated (may be empty)
+  std::string phase;       ///< phase path of the first implicated rank
+  double sim_time = 0.0;   ///< simulated seconds at detection
+
+  /// One-line rendering: "[error][collective] ranks 1,3: ...".
+  std::string text() const;
+};
+
+class Report {
+ public:
+  Report() = default;
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  void add(Diagnostic diagnostic);
+
+  /// Snapshot of all diagnostics recorded so far.
+  std::vector<Diagnostic> diagnostics() const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t errors() const;
+  std::size_t warnings() const;
+
+  /// Number of diagnostics with the given code.
+  std::size_t count(std::string_view code) const;
+  /// First diagnostic with the given code, or a default-constructed one
+  /// with an empty code when absent.
+  Diagnostic first(std::string_view code) const;
+
+  /// Human-readable listing, one diagnostic per line.
+  std::string text() const;
+  /// JSON document: {"diagnostics":[...],"errors":N,"warnings":N}.
+  std::string json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace check

@@ -1,0 +1,121 @@
+#include "check/report.hpp"
+
+#include <sstream>
+
+#include "stats/jsonlite.hpp"
+
+namespace check {
+
+const char* to_string(Severity severity) noexcept {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::text() const {
+  std::ostringstream oss;
+  oss << '[' << to_string(severity) << "][" << analyzer << "][" << code
+      << ']';
+  if (!ranks.empty()) {
+    oss << " rank" << (ranks.size() > 1 ? "s " : " ");
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (i != 0) oss << ',';
+      oss << ranks[i];
+    }
+  }
+  if (!phase.empty()) oss << " (phase " << phase << ')';
+  oss << ": " << message;
+  return oss.str();
+}
+
+void Report::add(Diagnostic diagnostic) {
+  const std::scoped_lock lock(mutex_);
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+std::vector<Diagnostic> Report::diagnostics() const {
+  const std::scoped_lock lock(mutex_);
+  return diagnostics_;
+}
+
+std::size_t Report::size() const {
+  const std::scoped_lock lock(mutex_);
+  return diagnostics_.size();
+}
+
+std::size_t Report::errors() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::warnings() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::count(std::string_view code) const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+Diagnostic Report::first(std::string_view code) const {
+  const std::scoped_lock lock(mutex_);
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return d;
+  }
+  Diagnostic none;
+  none.code.clear();
+  return none;
+}
+
+std::string Report::text() const {
+  const std::scoped_lock lock(mutex_);
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.text();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Report::json() const {
+  const std::scoped_lock lock(mutex_);
+  std::ostringstream oss;
+  oss << "{\"diagnostics\":[";
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (d.severity == Severity::kError) ++errors;
+    if (i != 0) oss << ',';
+    oss << "{\"severity\":\"" << to_string(d.severity) << "\",\"analyzer\":\""
+        << stats::jsonlite::escape(d.analyzer) << "\",\"code\":\""
+        << stats::jsonlite::escape(d.code) << "\",\"message\":\""
+        << stats::jsonlite::escape(d.message) << "\",\"ranks\":[";
+    for (std::size_t r = 0; r < d.ranks.size(); ++r) {
+      if (r != 0) oss << ',';
+      oss << d.ranks[r];
+    }
+    oss << "],\"phase\":\"" << stats::jsonlite::escape(d.phase)
+        << "\",\"sim_time\":" << d.sim_time << '}';
+  }
+  oss << "],\"errors\":" << errors
+      << ",\"warnings\":" << (diagnostics_.size() - errors) << '}';
+  return oss.str();
+}
+
+void Report::clear() {
+  const std::scoped_lock lock(mutex_);
+  diagnostics_.clear();
+}
+
+}  // namespace check

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "check/checker.hpp"
 #include "mimir/convert.hpp"
 #include "mimir/shuffle.hpp"
 #include "mutil/error.hpp"
@@ -195,6 +196,7 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
     reg->add("map.intermediate_kvs", metrics_.intermediate_kvs);
     reg->add("map.intermediate_bytes", metrics_.intermediate_bytes);
   }
+  check::audit_point(ctx_.tracker, "map end");
   phase_ = Phase::kMapped;
 }
 
@@ -280,6 +282,7 @@ std::uint64_t Job::reduce(const ReduceFn& fn) {
     reg->add("reduce.output_kvs", metrics_.output_kvs);
     reg->add("reduce.output_bytes", metrics_.output_bytes);
   }
+  check::audit_point(ctx_.tracker, "reduce end");
   phase_ = Phase::kReduced;
   return metrics_.output_kvs;
 }
@@ -310,6 +313,7 @@ std::uint64_t Job::partial_reduce(const CombineFn& combiner) {
     reg->add("reduce.output_kvs", metrics_.output_kvs);
     reg->add("reduce.output_bytes", metrics_.output_bytes);
   }
+  check::audit_point(ctx_.tracker, "partial_reduce end");
   phase_ = Phase::kReduced;
   return metrics_.output_kvs;
 }

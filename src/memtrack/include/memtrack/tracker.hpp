@@ -65,6 +65,47 @@ class NodeBudget {
   std::atomic<std::uint64_t> peak_{0};
 };
 
+/// Observer of one rank's memory accounting traffic, bound per thread
+/// (each rank thread observes only its own Tracker). Implemented by the
+/// mimir-check lifecycle auditor; the default (no observer) costs one
+/// thread-local read per operation. Observers are passive: they must not
+/// throw and must not charge trackers themselves.
+class AllocObserver {
+ public:
+  /// A TrackedBuffer acquired `bytes` of page memory at `block`.
+  virtual void on_page_alloc(const void* block, std::uint64_t bytes) = 0;
+  /// A TrackedBuffer returned the page at `block`.
+  virtual void on_page_release(const void* block, std::uint64_t bytes) = 0;
+  /// Tracker::allocate charged `bytes` (includes page charges).
+  virtual void on_charge(std::uint64_t bytes) = 0;
+  /// Tracker::release returned `bytes`.
+  virtual void on_release(std::uint64_t bytes) = 0;
+
+ protected:
+  ~AllocObserver() = default;
+};
+
+/// The calling thread's observer, or nullptr (the default).
+AllocObserver* alloc_observer() noexcept;
+/// Bind/clear the calling thread's observer (nullptr clears).
+void set_alloc_observer(AllocObserver* observer) noexcept;
+
+/// RAII thread-local observer binding; restores the previous observer.
+class ScopedAllocObserver {
+ public:
+  explicit ScopedAllocObserver(AllocObserver* observer) noexcept
+      : previous_(alloc_observer()) {
+    set_alloc_observer(observer);
+  }
+  ~ScopedAllocObserver() { set_alloc_observer(previous_); }
+
+  ScopedAllocObserver(const ScopedAllocObserver&) = delete;
+  ScopedAllocObserver& operator=(const ScopedAllocObserver&) = delete;
+
+ private:
+  AllocObserver* previous_;
+};
+
 /// Per-rank accounting view over a NodeBudget. Not thread-safe by design:
 /// each rank owns exactly one Tracker.
 class Tracker {

@@ -7,6 +7,16 @@
 
 namespace memtrack {
 
+namespace {
+thread_local AllocObserver* t_observer = nullptr;
+}  // namespace
+
+AllocObserver* alloc_observer() noexcept { return t_observer; }
+
+void set_alloc_observer(AllocObserver* observer) noexcept {
+  t_observer = observer;
+}
+
 void NodeBudget::charge(std::uint64_t bytes) {
   const std::uint64_t now =
       current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -33,9 +43,11 @@ void Tracker::allocate(std::uint64_t bytes) {
   if (node_ != nullptr) node_->charge(bytes);  // may throw; rank unchanged
   current_ += bytes;
   if (current_ > peak_) peak_ = current_;
+  if (t_observer != nullptr) t_observer->on_charge(bytes);
 }
 
 void Tracker::release(std::uint64_t bytes) noexcept {
+  if (t_observer != nullptr) t_observer->on_release(bytes);
   current_ -= bytes;
   if (node_ != nullptr) node_->release(bytes);
 }
@@ -49,6 +61,7 @@ TrackedBuffer::TrackedBuffer(Tracker& tracker, std::size_t bytes)
     tracker.release(bytes);
     throw;
   }
+  if (t_observer != nullptr) t_observer->on_page_alloc(data_.get(), bytes);
 }
 
 TrackedBuffer::~TrackedBuffer() { reset(); }
@@ -70,6 +83,9 @@ TrackedBuffer& TrackedBuffer::operator=(TrackedBuffer&& other) noexcept {
 
 void TrackedBuffer::reset() noexcept {
   if (tracker_ != nullptr && size_ != 0) {
+    if (t_observer != nullptr) {
+      t_observer->on_page_release(data_.get(), size_);
+    }
     tracker_->release(size_);
   }
   data_.reset();

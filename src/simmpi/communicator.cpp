@@ -4,12 +4,72 @@
 #include <cstring>
 #include <numeric>
 
+#include "check/checker.hpp"
 #include "shared_state.hpp"
+#include "stats/registry.hpp"
 
 namespace simmpi {
 
 using detail::SharedState;
 using detail::Slot;
+
+bool Communicator::checking() const noexcept {
+  return shared_->checker != nullptr;
+}
+
+int Communicator::check_global_rank() const noexcept {
+  return shared_->check_ranks[static_cast<std::size_t>(rank_)];
+}
+
+void Communicator::check_announce(check::CollectiveOp op,
+                                  std::uint32_t width, std::uint32_t extra,
+                                  std::int32_t root, std::uint64_t bytes,
+                                  const std::uint64_t* send_counts,
+                                  const std::uint64_t* recv_counts) {
+  auto& s = *shared_;
+  if (s.checker == nullptr) return;
+  ++check_seq_;
+  check::CollectiveFingerprint& fp =
+      s.check_fps[static_cast<std::size_t>(rank_)];
+  fp.op = op;
+  fp.seq = check_seq_;
+  fp.width = width;
+  fp.extra = extra;
+  fp.root = root;
+  fp.bytes = bytes;
+  fp.send_counts = send_counts;
+  fp.recv_counts = recv_counts;
+  fp.sim_time = clock_->now();
+  const stats::Registry* reg = stats::current();
+  fp.phase = reg != nullptr ? reg->phase_path() : std::string();
+}
+
+void Communicator::check_verify() {
+  auto& s = *shared_;
+  if (s.checker == nullptr) return;
+  if (rank_ == 0) {
+    s.checker->verify_collective(s.check_fps, s.check_ranks);
+  }
+  // Verification fence: hold every rank until rank 0 accepted the
+  // fingerprints, so nobody dereferences peer slot data from a
+  // mismatched collective. Barrier only — simulated clocks untouched.
+  checked_wait("check_verify");
+}
+
+void Communicator::checked_wait(const char* what) {
+  auto& s = *shared_;
+  const check::BlockGuard guard(s.checker, check_global_rank(),
+                                check::BlockedState::Kind::kCollective,
+                                what, -1, check_seq_, clock_->now());
+  s.barrier_wait();
+}
+
+void Communicator::check_local_error(const char* code,
+                                     const std::string& message) {
+  auto& s = *shared_;
+  if (s.checker == nullptr) return;
+  s.checker->local_error(check_global_rank(), code, message, clock_->now());
+}
 
 Communicator::Communicator(std::shared_ptr<detail::SharedState> shared,
                            int rank)
@@ -43,10 +103,20 @@ std::unique_ptr<Communicator> Communicator::split(int color, int key) {
   }
   const bool leader = members.front().second == rank_;
 
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kSplit, 0, 0, -1, 0, nullptr,
+                 nullptr);
+  checked_wait("split");
+  check_verify();
   if (leader) {
     auto group = std::make_shared<detail::SharedState>(
         static_cast<int>(members.size()), s.net_latency, s.net_bandwidth);
+    // The child inherits the job's checker; map its ranks back to
+    // job-global ranks so diagnostics name the real culprits.
+    group->checker = s.checker;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      group->check_ranks[i] =
+          s.check_ranks[static_cast<std::size_t>(members[i].second)];
+    }
     {
       const std::scoped_lock lock(s.children_mutex);
       s.children.push_back(group);
@@ -54,18 +124,18 @@ std::unique_ptr<Communicator> Communicator::split(int color, int key) {
     const std::scoped_lock lock(s.split_mutex);
     s.split_groups[color] = std::move(group);
   }
-  s.barrier_wait();
+  checked_wait("split");
   std::shared_ptr<detail::SharedState> group;
   {
     const std::scoped_lock lock(s.split_mutex);
     group = s.split_groups.at(color);
   }
-  s.barrier_wait();
+  checked_wait("split");
   if (leader) {
     const std::scoped_lock lock(s.split_mutex);
     s.split_groups.erase(color);
   }
-  s.barrier_wait();
+  checked_wait("split");
   return std::unique_ptr<Communicator>(
       new Communicator(std::move(group), new_rank, clock_));
 }
@@ -95,9 +165,12 @@ void check_vector_sizes(const SharedState& s, std::size_t counts,
 void Communicator::barrier() {
   auto& s = *shared_;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kBarrier, 0, 0, -1, 0, nullptr,
+                 nullptr);
+  checked_wait("barrier");
+  check_verify();
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("barrier");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
 }
@@ -118,9 +191,23 @@ void Communicator::alltoallv(std::span<const std::byte> send,
   check_vector_sizes(s, recv_counts.size(), recv_displs.size(), "alltoallv");
   for (int i = 0; i < s.nranks; ++i) {
     if (send_displs[i] + send_counts[i] > send.size()) {
+      check_local_error("alltoallv-local-bounds",
+                        "alltoallv send region for peer " +
+                            std::to_string(i) + " ([" +
+                            std::to_string(send_displs[i]) + ", " +
+                            std::to_string(send_displs[i] + send_counts[i]) +
+                            ")) exceeds the send buffer (" +
+                            std::to_string(send.size()) + " bytes)");
       throw mutil::CommError("simmpi: alltoallv send region out of bounds");
     }
     if (recv_displs[i] + recv_counts[i] > recv.size()) {
+      check_local_error("alltoallv-local-bounds",
+                        "alltoallv recv region for peer " +
+                            std::to_string(i) + " ([" +
+                            std::to_string(recv_displs[i]) + ", " +
+                            std::to_string(recv_displs[i] + recv_counts[i]) +
+                            ")) exceeds the recv buffer (" +
+                            std::to_string(recv.size()) + " bytes)");
       throw mutil::CommError("simmpi: alltoallv recv region out of bounds");
     }
   }
@@ -130,7 +217,10 @@ void Communicator::alltoallv(std::span<const std::byte> send,
   mine.counts = send_counts.data();
   mine.displs = send_displs.data();
   mine.clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAlltoallv, 1, 0, -1, 0,
+                 send_counts.data(), recv_counts.data());
+  checked_wait("alltoallv");
+  check_verify();
 
   // Pull model: copy my block out of every sender's buffer.
   std::uint64_t received = 0;
@@ -153,7 +243,7 @@ void Communicator::alltoallv(std::span<const std::byte> send,
       std::accumulate(send_counts.begin(), send_counts.end(),
                       std::uint64_t{0});
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("alltoallv");
 
   clock_->set(t + s.collective_latency() +
              static_cast<double>(std::max(sent, received)) /
@@ -172,14 +262,17 @@ std::vector<std::uint64_t> Communicator::alltoall_u64(
   Slot& mine = s.slots[rank_];
   mine.counts = values.data();
   mine.clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAlltoallU64, 8, 0, -1, 0, nullptr,
+                 nullptr);
+  checked_wait("alltoall_u64");
+  check_verify();
 
   std::vector<std::uint64_t> result(static_cast<std::size_t>(s.nranks));
   for (int src = 0; src < s.nranks; ++src) {
     result[static_cast<std::size_t>(src)] = s.slots[src].counts[rank_];
   }
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("alltoall_u64");
 
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
@@ -206,11 +299,14 @@ std::int64_t Communicator::allreduce_i64(std::int64_t value, Op op) {
   auto& s = *shared_;
   s.slots[rank_].i64 = value;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAllreduceI64, 8,
+                 static_cast<std::uint32_t>(op), -1, 0, nullptr, nullptr);
+  checked_wait("allreduce_i64");
+  check_verify();
   std::int64_t acc = s.slots[0].i64;
   for (int i = 1; i < s.nranks; ++i) acc = reduce_op(acc, s.slots[i].i64, op);
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("allreduce_i64");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
   return acc;
@@ -220,11 +316,14 @@ std::uint64_t Communicator::allreduce_u64(std::uint64_t value, Op op) {
   auto& s = *shared_;
   s.slots[rank_].u64 = value;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAllreduceU64, 8,
+                 static_cast<std::uint32_t>(op), -1, 0, nullptr, nullptr);
+  checked_wait("allreduce_u64");
+  check_verify();
   std::uint64_t acc = s.slots[0].u64;
   for (int i = 1; i < s.nranks; ++i) acc = reduce_op(acc, s.slots[i].u64, op);
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("allreduce_u64");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
   return acc;
@@ -234,11 +333,14 @@ double Communicator::allreduce_f64(double value, Op op) {
   auto& s = *shared_;
   s.slots[rank_].f64 = value;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAllreduceF64, 8,
+                 static_cast<std::uint32_t>(op), -1, 0, nullptr, nullptr);
+  checked_wait("allreduce_f64");
+  check_verify();
   double acc = s.slots[0].f64;
   for (int i = 1; i < s.nranks; ++i) acc = reduce_op(acc, s.slots[i].f64, op);
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("allreduce_f64");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
   return acc;
@@ -256,13 +358,16 @@ std::vector<std::int64_t> Communicator::allgather_i64(std::int64_t value) {
   auto& s = *shared_;
   s.slots[rank_].i64 = value;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAllgatherI64, 8, 0, -1, 0, nullptr,
+                 nullptr);
+  checked_wait("allgather_i64");
+  check_verify();
   std::vector<std::int64_t> result(static_cast<std::size_t>(s.nranks));
   for (int i = 0; i < s.nranks; ++i) {
     result[static_cast<std::size_t>(i)] = s.slots[i].i64;
   }
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("allgather_i64");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
   return result;
@@ -272,13 +377,16 @@ std::vector<std::uint64_t> Communicator::allgather_u64(std::uint64_t value) {
   auto& s = *shared_;
   s.slots[rank_].u64 = value;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kAllgatherU64, 8, 0, -1, 0, nullptr,
+                 nullptr);
+  checked_wait("allgather_u64");
+  check_verify();
   std::vector<std::uint64_t> result(static_cast<std::size_t>(s.nranks));
   for (int i = 0; i < s.nranks; ++i) {
     result[static_cast<std::size_t>(i)] = s.slots[i].u64;
   }
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("allgather_u64");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
   return result;
@@ -293,7 +401,10 @@ void Communicator::bcast(std::span<std::byte> data, int root) {
   mine.send = data.data();
   mine.bytes = data.size();
   mine.clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kBcast, 1, 0, root, data.size(),
+                 nullptr, nullptr);
+  checked_wait("bcast");
+  check_verify();
   const Slot& src = s.slots[root];
   if (src.bytes != data.size()) {
     throw mutil::CommError("simmpi: bcast: buffer size mismatch");
@@ -302,7 +413,7 @@ void Communicator::bcast(std::span<std::byte> data, int root) {
     std::memcpy(data.data(), src.send, data.size());
   }
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("bcast");
   clock_->set(t + s.collective_latency() +
              static_cast<double>(data.size()) / s.net_bandwidth);
   ++stats_.collectives;
@@ -315,10 +426,13 @@ std::uint64_t Communicator::bcast_u64(std::uint64_t value, int root) {
   }
   s.slots[rank_].u64 = value;
   s.slots[rank_].clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kBcastU64, 8, 0, root, 0, nullptr,
+                 nullptr);
+  checked_wait("bcast_u64");
+  check_verify();
   const std::uint64_t result = s.slots[root].u64;
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("bcast_u64");
   clock_->set(t + s.collective_latency());
   ++stats_.collectives;
   return result;
@@ -334,7 +448,10 @@ GatherResult Communicator::gatherv(int root,
   mine.send = payload.data();
   mine.bytes = payload.size();
   mine.clock = clock_->now();
-  s.barrier_wait();
+  check_announce(check::CollectiveOp::kGatherv, 1, 0, root, 0, nullptr,
+                 nullptr);
+  checked_wait("gatherv");
+  check_verify();
 
   GatherResult result;
   std::uint64_t total = 0;
@@ -355,7 +472,7 @@ GatherResult Communicator::gatherv(int root,
     }
   }
   const double t = max_clock(s);
-  s.barrier_wait();
+  checked_wait("gatherv");
 
   const std::uint64_t moved = rank_ == root ? total : payload.size();
   clock_->set(t + s.collective_latency() +
@@ -398,6 +515,10 @@ std::vector<std::byte> Communicator::recv(int source, int tag) {
   if (source < 0 || source >= s.nranks) {
     throw mutil::CommError("simmpi: recv: bad source rank");
   }
+  const check::BlockGuard guard(
+      s.checker, check_global_rank(), check::BlockedState::Kind::kRecv,
+      "recv", s.check_ranks[static_cast<std::size_t>(source)], 0,
+      clock_->now());
   auto& box = *s.mailboxes[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
   for (;;) {

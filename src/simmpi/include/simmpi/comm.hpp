@@ -23,6 +23,10 @@
 
 #include "simtime/clock.hpp"
 
+namespace check {
+enum class CollectiveOp : std::uint32_t;
+}
+
 namespace simmpi {
 
 namespace detail {
@@ -122,11 +126,36 @@ class Communicator {
   Communicator(std::shared_ptr<detail::SharedState> shared, int rank,
                simtime::Clock* borrowed_clock);
 
+  // mimir-check hooks; all no-ops when the job's checker is null.
+  bool checking() const noexcept;
+  int check_global_rank() const noexcept;
+  /// Publish this rank's fingerprint for the collective it is entering.
+  /// Must run before the entry barrier.
+  void check_announce(check::CollectiveOp op, std::uint32_t width,
+                      std::uint32_t extra, std::int32_t root,
+                      std::uint64_t bytes,
+                      const std::uint64_t* send_counts,
+                      const std::uint64_t* recv_counts);
+  /// Verification fence after the entry barrier: the communicator's
+  /// rank 0 compares all fingerprints (throwing mutil::CommError on a
+  /// mismatch), then every rank rendezvouses once more so no rank reads
+  /// peer slot data the verifier rejected. Pure thread synchronization —
+  /// never advances a simulated clock.
+  void check_verify();
+  /// Record a locally-detected error in the check report before throwing.
+  void check_local_error(const char* code, const std::string& message);
+  /// barrier_wait with the blocked state published to the watchdog. Only
+  /// the wait itself is marked blocked — a rank computing between
+  /// barriers reads as making progress, so the deadlock verdict ("every
+  /// rank blocked, nothing changed") cannot fire on slow compute.
+  void checked_wait(const char* what);
+
   std::shared_ptr<detail::SharedState> shared_;
   int rank_;
   simtime::Clock own_clock_;
   simtime::Clock* clock_ = &own_clock_;
   CommStats stats_;
+  std::uint64_t check_seq_ = 0;  ///< per-rank collective sequence number
 };
 
 }  // namespace simmpi

@@ -19,6 +19,10 @@
 #include "simtime/clock.hpp"
 #include "simtime/machine.hpp"
 
+namespace check {
+class JobChecker;
+}
+
 namespace stats {
 class Collector;
 }
@@ -68,13 +72,22 @@ using RankFn = std::function<void(Context&)>;
 /// shuffle traffic matrix are recorded per rank. Collection is
 /// accounting-only: simulated times and peak-memory results are
 /// identical with and without a collector.
+///
+/// When `checker` is non-null (or the process-global checker is enabled
+/// via MIMIR_CHECK / check::enable_global()), the mimir-check analyzers
+/// run for this job: collectives are fingerprint-verified, a watchdog
+/// aborts genuine deadlocks, and each rank's container lifecycle is
+/// audited. Checking is likewise accounting-only — simulated results are
+/// bit-identical with the checker on or off.
 JobStats run(int nranks, const simtime::MachineProfile& machine,
              pfs::FileSystem& fs, const RankFn& fn,
-             stats::Collector* collector = nullptr);
+             stats::Collector* collector = nullptr,
+             check::JobChecker* checker = nullptr);
 
 /// Convenience for tests: run with an unlimited test profile and a
 /// throwaway file system.
 JobStats run_test(int nranks, const RankFn& fn,
-                  stats::Collector* collector = nullptr);
+                  stats::Collector* collector = nullptr,
+                  check::JobChecker* checker = nullptr);
 
 }  // namespace simmpi

@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "check/checker.hpp"
 #include "mutil/logging.hpp"
 #include "shared_state.hpp"
 #include "stats/registry.hpp"
@@ -14,10 +15,11 @@ namespace simmpi {
 
 JobStats run(int nranks, const simtime::MachineProfile& machine,
              pfs::FileSystem& fs, const RankFn& fn,
-             stats::Collector* collector) {
+             stats::Collector* collector, check::JobChecker* checker) {
   if (nranks <= 0) {
     throw mutil::ConfigError("simmpi::run: nranks must be positive");
   }
+  if (checker == nullptr) checker = check::global_checker();
   const int ranks_per_node = std::max(1, machine.ranks_per_node);
   const int nodes = (nranks + ranks_per_node - 1) / ranks_per_node;
 
@@ -44,7 +46,29 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
   }
 
   const pfs::IoStats io_before = fs.stats();
+
+  // Phase context for diagnostics comes from the stats registries; when
+  // checking without a caller-provided collector, bind an internal one.
+  std::optional<stats::Collector> internal_collector;
+  if (checker != nullptr && collector == nullptr) {
+    internal_collector.emplace();
+    collector = &*internal_collector;
+  }
   if (collector != nullptr) collector->reset(nranks);
+
+  std::size_t diagnostics_before = 0;
+  if (checker != nullptr) {
+    diagnostics_before = checker->report().size();
+    checker->reset(nranks);
+    shared->checker = checker;
+    std::weak_ptr<detail::SharedState> weak_shared = shared;
+    checker->start_watchdog([weak_shared](const std::string& message) {
+      if (const auto s = weak_shared.lock()) {
+        s->abort(std::make_exception_ptr(
+            mutil::CommError("mimir-check: " + message)));
+      }
+    });
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -62,14 +86,34 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
         registry.bind(r, nranks, &ctx.clock(), &ctx.tracker);
         stats_bind.emplace(&registry);
       }
+      std::optional<check::ScopedAudit> audit_bind;
+      if (checker != nullptr) audit_bind.emplace(&checker->auditor(r));
       try {
         fn(ctx);
+        if (checker != nullptr) {
+          // Only a successful rank is held to the lifecycle contract;
+          // a throwing rank legitimately abandons in-flight pages.
+          checker->auditor(r).final_audit(ctx.tracker);
+          checker->rank_finished(r);
+        }
       } catch (...) {
+        if (checker != nullptr) checker->rank_finished(r);
         shared->abort(std::current_exception());
       }
     });
   }
   for (auto& t : threads) t.join();
+
+  if (checker != nullptr) {
+    checker->stop_watchdog();
+    for (const check::Diagnostic& d : checker->report().diagnostics()) {
+      if (diagnostics_before > 0) {
+        --diagnostics_before;
+        continue;
+      }
+      mutil::log_warn("mimir-check: ", d.text());
+    }
+  }
 
   {
     const std::scoped_lock lock(shared->error_mutex);
@@ -99,10 +143,10 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
 }
 
 JobStats run_test(int nranks, const RankFn& fn,
-                  stats::Collector* collector) {
+                  stats::Collector* collector, check::JobChecker* checker) {
   const simtime::MachineProfile machine = simtime::MachineProfile::test_profile();
   pfs::FileSystem fs(machine, nranks);
-  return run(nranks, machine, fs, fn, collector);
+  return run(nranks, machine, fs, fn, collector, checker);
 }
 
 }  // namespace simmpi

@@ -1,6 +1,27 @@
 // Internal shared state for a simmpi job: the collective rendezvous slot
 // table, the global barrier, per-rank mailboxes, and the abort channel.
 // Private to the simmpi library.
+//
+// Happens-before argument (why the slot table is race-free):
+//
+// Every collective is bracketed by barrier_wait() calls on the shared
+// generation barrier. barrier_wait() acquires and releases the same
+// std::mutex on every rank, so for any two ranks A and B:
+//
+//   A's slot writes  -sequenced-before->  A enters the entry barrier
+//   A enters the barrier  -synchronizes-with->  B leaves the barrier
+//     (both lock `mutex`; the last arrival's unlock is observed by every
+//      waiter's re-acquisition in cv.wait)
+//   B leaves the barrier  -sequenced-before->  B's slot reads
+//
+// hence every pre-entry-barrier write is visible to every
+// post-entry-barrier read, and no rank writes its slot again until after
+// the exit barrier, which orders the reads before the next round's
+// writes. The mimir-check fingerprints (check_fps) follow exactly the
+// same discipline: written by the owner before the entry barrier, read
+// by the communicator's rank 0 between the entry barrier and the
+// verification fence barrier, never touched again until after the exit
+// barrier.
 #pragma once
 
 #include <bit>
@@ -13,6 +34,7 @@
 #include <mutex>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "mutil/error.hpp"
 
 namespace simmpi::detail {
@@ -52,8 +74,13 @@ struct SharedState {
         net_latency(latency),
         net_bandwidth(bandwidth),
         slots(static_cast<std::size_t>(num_ranks)),
-        mailboxes(static_cast<std::size_t>(num_ranks)) {
+        mailboxes(static_cast<std::size_t>(num_ranks)),
+        check_fps(static_cast<std::size_t>(num_ranks)),
+        check_ranks(static_cast<std::size_t>(num_ranks)) {
     for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
+    for (int r = 0; r < num_ranks; ++r) {
+      check_ranks[static_cast<std::size_t>(r)] = r;
+    }
   }
 
   const int nranks;
@@ -73,6 +100,16 @@ struct SharedState {
 
   std::vector<Slot> slots;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // mimir-check hooks. `checker` is null when checking is off (the
+  // common case); set once by simmpi::run before rank threads start, or
+  // inherited from the parent by split() children. `check_fps` follows
+  // the slot-table happens-before discipline above; `check_ranks[i]` is
+  // the job-global rank of this communicator's rank i, so diagnostics
+  // from split sub-communicators name the real ranks.
+  check::JobChecker* checker = nullptr;
+  std::vector<check::CollectiveFingerprint> check_fps;
+  std::vector<int> check_ranks;
 
   // Rendezvous area for split(): group leaders publish the new group's
   // state here between two barriers.

@@ -82,6 +82,9 @@ class Registry {
   void phase_begin(std::string_view name);
   void phase_end();
   int open_depth() const noexcept { return static_cast<int>(open_.size()); }
+  /// Slash-joined path of the currently open phases ("map/aggregate");
+  /// empty at top level. Owner-thread only, like every other probe.
+  std::string phase_path() const;
 
   // --- counters / timers / events ----------------------------------------
 

@@ -75,6 +75,15 @@ void Registry::phase_end() {
   phases_.push_back(std::move(record));
 }
 
+std::string Registry::phase_path() const {
+  std::string path;
+  for (const OpenPhase& open : open_) {
+    if (!path.empty()) path += '/';
+    path += open.name;
+  }
+  return path;
+}
+
 void Registry::add(std::string_view counter, std::uint64_t delta) {
   auto it = counters_.find(counter);
   if (it == counters_.end()) {
