@@ -12,6 +12,25 @@ build_dir="${1:-${MIMIR_BUILD_DIR:-${repo_root}/build}}"
 
 python3 "${repo_root}/scripts/check_headers.py"
 
+# KV payloads are binary-safe byte ranges, not C strings: the single
+# sanctioned strlen lives in the kString decode path in kv.hpp, which is
+# guarded by the embedded-NUL check in field_size(). Any other
+# strlen/strcpy on the core KV paths treats payload bytes as
+# NUL-terminated and silently truncates binary data.
+kv_cstring_hits="$(grep -rnE '\bstr(len|cpy)\s*\(' "${repo_root}/src/core" \
+  --include='*.cpp' --include='*.hpp' \
+  | grep -v 'include/mimir/kv.hpp' || true)"
+if [ -n "${kv_cstring_hits}" ]; then
+  echo "lint: strlen/strcpy on KV payload paths (use sized byte ranges):" >&2
+  echo "${kv_cstring_hits}" >&2
+  exit 1
+fi
+if ! grep -q 'embedded NUL' "${repo_root}/src/core/include/mimir/kv.hpp"; then
+  echo "lint: kv.hpp lost the embedded-NUL guard that makes its strlen" \
+       "decode sound" >&2
+  exit 1
+fi
+
 if ! command -v clang-tidy > /dev/null 2>&1; then
   echo "lint: clang-tidy not installed; skipping static analysis" >&2
   exit 0

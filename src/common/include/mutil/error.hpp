@@ -42,6 +42,41 @@ class IoError : public Error {
   using Error::Error;
 };
 
+/// Raised for *injected* transient PFS failures (src/inject). Carries
+/// the simulated time of the failed operation so a recovery policy can
+/// account the lost work; distinguishable from a real IoError (corrupt
+/// checkpoint, missing file) which is not retryable.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what, double sim_time = 0.0)
+      : IoError(what), sim_time_(sim_time) {}
+
+  double sim_time() const noexcept { return sim_time_; }
+
+ private:
+  double sim_time_;
+};
+
+/// Raised when a simulated rank dies (fault injection or a future node
+/// failure model). Thrown by the dying rank itself and re-thrown by
+/// peers blocked in collectives/recv so a whole job unwinds cleanly
+/// instead of hanging; simmpi::run rethrows the original. Recovery
+/// policies treat it as retryable.
+class RankFailedError : public Error {
+ public:
+  RankFailedError(const std::string& what, int rank, double sim_time = 0.0)
+      : Error(what), rank_(rank), sim_time_(sim_time) {}
+
+  /// The job-global rank that died.
+  int rank() const noexcept { return rank_; }
+  /// Simulated seconds on the dying rank's clock at the point of death.
+  double sim_time() const noexcept { return sim_time_; }
+
+ private:
+  int rank_;
+  double sim_time_;
+};
+
 /// Raised on malformed configuration values.
 class ConfigError : public Error {
  public:

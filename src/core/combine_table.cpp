@@ -115,6 +115,42 @@ void CombineTable::upsert(std::string_view key, std::string_view value) {
   dead_bytes_ += consumed;
   live_bytes_ -= consumed;
   *slot = append_record(hash, key, scratch_);
+  // Without a bound, a workload whose combines keep changing value
+  // sizes (e.g. growing postings lists) leaves every superseded record
+  // in the arena and the bucket's footprint grows without limit even
+  // though its live contents do not. Compact once garbage exceeds the
+  // live data (the page_size_ floor avoids churning on tiny tables);
+  // the transient copy during compaction keeps the peak bounded by a
+  // constant multiple of the live bytes.
+  if (dead_bytes_ > live_bytes_ && dead_bytes_ >= page_size_) {
+    compact();
+  }
+}
+
+void CombineTable::compact() {
+  std::deque<detail::Page> fresh;
+  auto* entries = reinterpret_cast<Entry*>(slots_.data());
+  for (std::uint64_t i = 0; i < slot_count_; ++i) {
+    Entry& e = entries[i];
+    if (!e.occupied()) continue;
+    const std::byte* src = record_ptr(e);
+    std::size_t consumed = 0;
+    (void)codec_.decode(src, &consumed);
+    if (fresh.empty() || fresh.back().room() < consumed) {
+      detail::Page page;
+      page.buffer = memtrack::TrackedBuffer(
+          *tracker_, std::max<std::uint64_t>(consumed, page_size_));
+      fresh.push_back(std::move(page));
+    }
+    detail::Page& page = fresh.back();
+    std::memcpy(page.buffer.data() + page.used, src, consumed);
+    e.page = static_cast<std::uint32_t>(fresh.size() - 1);
+    e.offset = static_cast<std::uint32_t>(page.used);
+    page.used += consumed;
+  }
+  arena_ = std::move(fresh);
+  dead_bytes_ = 0;
+  ++compactions_;
 }
 
 void CombineTable::clear() {

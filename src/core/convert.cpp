@@ -5,6 +5,7 @@
 #include <deque>
 #include <vector>
 
+#include "inject/fault.hpp"
 #include "mutil/hash.hpp"
 #include "stats/registry.hpp"
 
@@ -147,6 +148,7 @@ class ConvertIndex {
 KMVContainer convert(simmpi::Context& ctx, KVContainer& input,
                      std::uint64_t page_size, ConvertStats* stats) {
   const stats::PhaseScope phase("convert");
+  inject::phase_point("convert");
   const KVHint hint = input.codec().hint();
   KMVContainer kmvc(ctx.tracker, page_size, hint);
   ConvertIndex index(ctx.tracker, input.spilled());

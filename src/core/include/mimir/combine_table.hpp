@@ -67,10 +67,21 @@ class CombineTable {
   bool empty() const noexcept { return live_entries_ == 0; }
   /// Encoded bytes of live entries.
   std::uint64_t live_bytes() const noexcept { return live_bytes_; }
-  /// Garbage left behind by size-changing combines.
+  /// Garbage left behind by size-changing combines. Bounded: once dead
+  /// bytes exceed live bytes (and at least one page), the arena is
+  /// compacted, so the bucket's footprint stays proportional to its
+  /// live contents no matter how many values change size.
   std::uint64_t dead_bytes() const noexcept { return dead_bytes_; }
   /// KVs that were merged away (inputs - live entries).
   std::uint64_t combined_kvs() const noexcept { return combined_kvs_; }
+  /// Arena compactions performed so far.
+  std::uint64_t compactions() const noexcept { return compactions_; }
+  /// Bytes currently held by arena pages (live + dead + page slack).
+  std::uint64_t arena_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& page : arena_) total += page.buffer.size();
+    return total;
+  }
 
  private:
   struct Entry {
@@ -88,6 +99,7 @@ class CombineTable {
 
   Entry* find_slot(std::uint64_t hash, std::string_view key);
   void grow();
+  void compact();
   Entry append_record(std::uint64_t hash, std::string_view key,
                       std::string_view value);
 
@@ -104,6 +116,7 @@ class CombineTable {
   std::uint64_t live_bytes_ = 0;
   std::uint64_t dead_bytes_ = 0;
   std::uint64_t combined_kvs_ = 0;
+  std::uint64_t compactions_ = 0;
   std::string scratch_;
 };
 

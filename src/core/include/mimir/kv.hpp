@@ -130,7 +130,20 @@ class KVCodec {
   static std::size_t field_size(std::string_view data, std::int32_t hint,
                                 const char* what) {
     if (hint == KVHint::kVariable) return data.size();
-    if (hint == KVHint::kString) return data.size() + 1;  // NUL
+    if (hint == KVHint::kString) {
+      // The string encoding stores the bytes followed by a NUL and
+      // decodes with strlen, so an embedded NUL would silently truncate
+      // the field on every read after this point (and desynchronize the
+      // byte cursor for everything behind it). Reject it here: every
+      // encode path calls encoded_size() before writing a single byte.
+      if (data.find('\0') != std::string_view::npos) {
+        throw mutil::UsageError(
+            std::string("KVCodec: ") + what +
+            " contains an embedded NUL, which the kString hint cannot "
+            "represent (use kVariable or a fixed-length hint)");
+      }
+      return data.size() + 1;  // NUL
+    }
     if (data.size() != static_cast<std::size_t>(hint)) {
       throw mutil::UsageError(std::string("KVCodec: ") + what + " length " +
                               std::to_string(data.size()) +

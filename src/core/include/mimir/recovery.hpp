@@ -1,0 +1,111 @@
+// Checkpoint-based job recovery (companion to src/inject).
+//
+// Mimir's substrate aborts a job as a unit: the first rank to throw
+// (a crash injected by inject::Injector, a transient PFS error, or a
+// genuine OutOfMemoryError) unwinds every other rank out of its
+// collectives. run_with_recovery wraps simmpi::run in a bounded retry
+// loop around that unit-abort behaviour:
+//
+//   * after the map+aggregate phase completes, the intermediate data is
+//     checkpointed to the PFS (mimir/checkpoint.hpp); a retry that finds
+//     a committed checkpoint resumes from it instead of re-running map;
+//   * each retry waits an exponential backoff on the *simulated* clock —
+//     every rank starts attempt k with its clock advanced past the
+//     previous failure time plus base*factor^(k-1), so the returned
+//     JobStats.sim_time is the total simulated time-to-completion
+//     including failed attempts;
+//   * an OutOfMemoryError retry degrades gracefully: the job restarts
+//     with the out-of-core spill enabled and the live-bytes budget
+//     halved (starting from the configured budget, or from the per-rank
+//     share of the node budget when out-of-core was off), trading PFS
+//     traffic for survival instead of failing the job;
+//   * mutil::UsageError/ConfigError are never retried — they indicate a
+//     caller bug, not a fault.
+//
+// Attempt counts and backoff schedules are deterministic for a fixed
+// FaultPlan seed (see inject/fault.hpp); recovery activity is recorded
+// through stats::Registry counters (recovery.*) on the successful
+// attempt and surfaced as "recovery" diagnostics in the check::Report
+// when a checker is attached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "inject/fault.hpp"
+#include "mimir/job.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace mutil {
+class Config;
+}
+
+namespace mimir {
+
+/// Retry/degradation knobs for run_with_recovery.
+struct RecoveryPolicy {
+  int max_attempts = 5;          ///< total attempts (first try included)
+  double backoff_base = 0.5;     ///< simulated seconds before retry 1
+  double backoff_factor = 2.0;   ///< exponential growth per retry
+  /// Retry an OutOfMemoryError with out-of-core spill enabled and the
+  /// live-bytes budget halved (repeatedly, down to one page). Off =
+  /// OOM is rethrown like any other non-recoverable error.
+  bool degrade_on_oom = true;
+  std::string checkpoint = "recovery";  ///< checkpoint name on the PFS
+  bool keep_checkpoint = false;  ///< leave the checkpoint after success
+
+  /// Parse "mimir.recovery.*" keys (max_attempts, backoff_base,
+  /// backoff_factor, degrade_on_oom, checkpoint, keep_checkpoint).
+  static RecoveryPolicy from(const mutil::Config& cfg);
+};
+
+/// One attempt of the retry loop, successful or not.
+struct AttemptRecord {
+  int attempt = 1;
+  bool ok = false;
+  std::string error;        ///< what() of the failure; empty on success
+  int failed_rank = -1;     ///< dead rank for rank-death failures
+  double failed_time = 0.0; ///< simulated failure time when known
+  double backoff = 0.0;     ///< simulated backoff charged before retry
+  std::uint64_t live_budget = 0;  ///< ooc_live_bytes in effect (0 = off)
+};
+
+/// Result of a recovered job.
+struct RecoveryOutcome {
+  simmpi::JobStats stats;   ///< stats of the successful attempt
+  int attempts = 1;
+  bool resumed = false;     ///< some attempt resumed from the checkpoint
+  bool degraded = false;    ///< OOM degradation kicked in
+  std::uint64_t degraded_live_bytes = 0;  ///< final live budget if so
+  double total_backoff = 0.0;             ///< simulated seconds
+  std::vector<AttemptRecord> history;     ///< one entry per attempt
+};
+
+/// The job to run under recovery. `map` must complete the Job's map
+/// phase (map_text_files/map_kvs/map_custom); `finish` consumes the
+/// mapped job (reduce or partial_reduce) and handles the output. Both
+/// run on every rank and may be called several times (once per
+/// attempt), so they must be idempotent with respect to captured state.
+struct RecoveryJob {
+  JobConfig config{};
+  std::function<void(Job&)> map;
+  std::function<void(Job&)> finish;
+};
+
+/// Run `jobspec` on `nranks` ranks with checkpoint-based retry. When
+/// `plan` is non-null and non-empty, each rank thread gets a bound
+/// inject::Injector for the duration of the attempt. Throws the last
+/// failure once `policy.max_attempts` is exhausted; rethrows
+/// non-recoverable errors (UsageError, ConfigError) immediately.
+RecoveryOutcome run_with_recovery(int nranks,
+                                  const simtime::MachineProfile& machine,
+                                  pfs::FileSystem& fs,
+                                  const RecoveryJob& jobspec,
+                                  const RecoveryPolicy& policy = {},
+                                  const inject::FaultPlan* plan = nullptr,
+                                  stats::Collector* collector = nullptr,
+                                  check::JobChecker* checker = nullptr);
+
+}  // namespace mimir

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "check/checker.hpp"
+#include "inject/fault.hpp"
 #include "mimir/convert.hpp"
 #include "mimir/shuffle.hpp"
 #include "mutil/error.hpp"
@@ -166,6 +167,7 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
   // this map scope, mirroring Mimir's map phase with interleaved
   // communication.
   const stats::PhaseScope phase("map");
+  inject::phase_point("map");
   Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, intermediate_,
                   cfg_.partitioner);
   if (cfg_.kv_compression) {
@@ -266,6 +268,7 @@ std::uint64_t Job::reduce(const ReduceFn& fn) {
   metrics_.unique_keys = stats.unique_keys;
 
   const stats::PhaseScope phase("reduce");
+  inject::phase_point("reduce");
   OutputEmitter emitter(output_, ctx_);
   const double rate = ctx_.machine.reduce_rate;
   const std::uint64_t kmv_bytes = kmvc.data_bytes();
@@ -293,6 +296,7 @@ std::uint64_t Job::partial_reduce(const CombineFn& combiner) {
         "mimir::Job: partial_reduce requires a completed map");
   }
   const stats::PhaseScope phase("partial_reduce");
+  inject::phase_point("partial_reduce");
   CombineTable bucket(ctx_.tracker, cfg_.page_size, cfg_.hint, combiner);
   const double rate = ctx_.machine.reduce_rate;
   intermediate_.consume([&](const KVView& kv) {

@@ -1,0 +1,196 @@
+#include "mimir/recovery.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <optional>
+
+#include "check/checker.hpp"
+#include "mimir/checkpoint.hpp"
+#include "mutil/config.hpp"
+#include "mutil/error.hpp"
+#include "stats/registry.hpp"
+
+namespace mimir {
+
+RecoveryPolicy RecoveryPolicy::from(const mutil::Config& cfg) {
+  RecoveryPolicy policy;
+  policy.max_attempts = static_cast<int>(
+      cfg.get_int("mimir.recovery.max_attempts", policy.max_attempts));
+  policy.backoff_base =
+      cfg.get_double("mimir.recovery.backoff_base", policy.backoff_base);
+  policy.backoff_factor =
+      cfg.get_double("mimir.recovery.backoff_factor", policy.backoff_factor);
+  policy.degrade_on_oom =
+      cfg.get_bool("mimir.recovery.degrade_on_oom", policy.degrade_on_oom);
+  policy.checkpoint =
+      cfg.get_string("mimir.recovery.checkpoint", policy.checkpoint);
+  policy.keep_checkpoint =
+      cfg.get_bool("mimir.recovery.keep_checkpoint", policy.keep_checkpoint);
+  if (policy.max_attempts < 1) {
+    throw mutil::ConfigError("mimir.recovery.max_attempts must be >= 1");
+  }
+  if (policy.backoff_base < 0.0 || policy.backoff_factor < 1.0) {
+    throw mutil::ConfigError(
+        "mimir.recovery: backoff_base must be >= 0 and backoff_factor "
+        "must be >= 1");
+  }
+  return policy;
+}
+
+RecoveryOutcome run_with_recovery(int nranks,
+                                  const simtime::MachineProfile& machine,
+                                  pfs::FileSystem& fs,
+                                  const RecoveryJob& jobspec,
+                                  const RecoveryPolicy& policy,
+                                  const inject::FaultPlan* plan,
+                                  stats::Collector* collector,
+                                  check::JobChecker* checker) {
+  if (!jobspec.map) {
+    throw mutil::UsageError("run_with_recovery: jobspec.map is required");
+  }
+
+  RecoveryOutcome out;
+  JobConfig cfg = jobspec.config;
+  // Every rank starts attempt k with its clock advanced by the
+  // accumulated offset (previous failure time + backoff), so the
+  // successful attempt's JobStats.sim_time is the total simulated
+  // time-to-completion including the failed attempts.
+  double start_offset = 0.0;
+  std::atomic<bool> resumed_any{false};
+
+  const auto diag = [&](check::Severity severity, std::string code,
+                        std::string message, int failed_rank,
+                        double failed_time) {
+    if (checker == nullptr) return;
+    check::Diagnostic d;
+    d.severity = severity;
+    d.analyzer = "recovery";
+    d.code = std::move(code);
+    d.message = std::move(message);
+    if (failed_rank >= 0) d.ranks = {failed_rank};
+    d.sim_time = failed_time;
+    checker->report().add(std::move(d));
+  };
+
+  for (int attempt = 1;; ++attempt) {
+    AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.live_budget = cfg.ooc_live_bytes;
+
+    std::exception_ptr failure;
+    bool oom = false;
+    try {
+      out.stats = simmpi::run(
+          nranks, machine, fs,
+          [&](simmpi::Context& ctx) {
+            std::optional<inject::Injector> injector;
+            std::optional<inject::ScopedInject> scope;
+            if (plan != nullptr && !plan->empty()) {
+              injector.emplace(*plan, ctx.rank(), attempt);
+              injector->bind(&ctx.clock(), &ctx.tracker);
+              scope.emplace(&*injector);
+            }
+            if (start_offset > 0.0) ctx.clock().advance(start_offset);
+
+            const bool resume =
+                attempt > 1 && checkpoint_exists(ctx, policy.checkpoint);
+            if (resume) {
+              resumed_any.store(true, std::memory_order_relaxed);
+            }
+            Job job = [&]() -> Job {
+              if (resume) return resume_job(ctx, cfg, policy.checkpoint);
+              Job fresh(ctx, cfg);
+              jobspec.map(fresh);
+              checkpoint_job(fresh, policy.checkpoint);
+              return fresh;
+            }();
+            if (jobspec.finish) jobspec.finish(job);
+            if (!policy.keep_checkpoint) {
+              remove_checkpoint(ctx, policy.checkpoint);
+            }
+            if (stats::Registry* reg = stats::current()) {
+              reg->add("recovery.attempts",
+                       static_cast<std::uint64_t>(attempt));
+              if (resume) reg->add("recovery.resumed", 1);
+              if (out.degraded) reg->add("recovery.degraded", 1);
+              reg->add_seconds("recovery.backoff_seconds",
+                               out.total_backoff);
+            }
+          },
+          collector, checker);
+      rec.ok = true;
+      out.history.push_back(rec);
+      out.attempts = attempt;
+      out.resumed = resumed_any.load(std::memory_order_relaxed);
+      return out;
+    } catch (const mutil::UsageError&) {
+      throw;  // caller bug, not a fault — never retried
+    } catch (const mutil::ConfigError&) {
+      throw;
+    } catch (const mutil::OutOfMemoryError& e) {
+      failure = std::current_exception();
+      rec.error = e.what();
+      oom = true;
+    } catch (const mutil::RankFailedError& e) {
+      failure = std::current_exception();
+      rec.error = e.what();
+      rec.failed_rank = e.rank();
+      rec.failed_time = e.sim_time();
+    } catch (const mutil::TransientIoError& e) {
+      failure = std::current_exception();
+      rec.error = e.what();
+      rec.failed_time = e.sim_time();
+    }
+
+    if (oom) {
+      // Graceful degradation: restart with out-of-core spill enabled and
+      // the live-bytes budget halved. The starting budget is either the
+      // configured one or this rank's share of the node memory; at one
+      // page the job genuinely does not fit and the OOM is final.
+      std::uint64_t base = cfg.ooc_live_bytes;
+      if (base == 0 && machine.node_memory != 0) {
+        base = machine.node_memory /
+               static_cast<std::uint64_t>(std::max(1, machine.ranks_per_node));
+      }
+      const std::uint64_t next = base / 2;
+      if (!policy.degrade_on_oom || next < cfg.page_size) {
+        out.history.push_back(rec);
+        std::rethrow_exception(failure);
+      }
+      cfg.ooc_live_bytes = next;
+      out.degraded = true;
+      out.degraded_live_bytes = next;
+      diag(check::Severity::kWarning, "oom-degraded",
+           "attempt " + std::to_string(attempt) +
+               " ran out of memory; retrying with ooc_live_bytes=" +
+               std::to_string(next),
+           -1, rec.failed_time);
+    }
+
+    if (attempt >= policy.max_attempts) {
+      out.history.push_back(rec);
+      out.attempts = attempt;
+      diag(check::Severity::kError, "retries-exhausted",
+           "giving up after " + std::to_string(attempt) +
+               " attempts: " + rec.error,
+           rec.failed_rank, rec.failed_time);
+      std::rethrow_exception(failure);
+    }
+
+    const double backoff =
+        policy.backoff_base *
+        std::pow(policy.backoff_factor, static_cast<double>(attempt - 1));
+    rec.backoff = backoff;
+    out.total_backoff += backoff;
+    start_offset = std::max(start_offset, rec.failed_time) + backoff;
+    out.history.push_back(rec);
+    diag(check::Severity::kWarning, "attempt-failed",
+         "attempt " + std::to_string(attempt) + " failed (" + rec.error +
+             "); retrying after " + std::to_string(backoff) +
+             "s simulated backoff",
+         rec.failed_rank, rec.failed_time);
+  }
+}
+
+}  // namespace mimir

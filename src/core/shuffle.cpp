@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "inject/fault.hpp"
 #include "mutil/hash.hpp"
 #include "stats/registry.hpp"
 
@@ -38,15 +39,24 @@ void Shuffle::emit(std::string_view key, std::string_view value) {
         " bytes) exceeds the send partition capacity (" +
         std::to_string(part_cap_) + " bytes); increase the comm buffer");
   }
-  const auto dest_rank = static_cast<std::size_t>(
-      partitioner_
-          ? partitioner_(key, ctx_.size())
-          : static_cast<int>(mutil::hash_bytes(key) %
-                             static_cast<std::uint64_t>(ctx_.size())));
-  if (dest_rank >= static_cast<std::size_t>(ctx_.size())) {
-    throw mutil::UsageError(
-        "Shuffle: partitioner returned an out-of-range rank");
+  // Validate the partitioner's result while it is still signed: casting
+  // a negative return to size_t first would report a huge bogus rank
+  // and hide the real bug (a partitioner returning -1).
+  int dest = 0;
+  if (partitioner_) {
+    dest = partitioner_(key, ctx_.size());
+    if (dest < 0 || dest >= ctx_.size()) {
+      throw mutil::UsageError(
+          "Shuffle: partitioner returned rank " + std::to_string(dest) +
+          ", violating the partitioner contract (must return a rank in "
+          "[0, " +
+          std::to_string(ctx_.size()) + "))");
+    }
+  } else {
+    dest = static_cast<int>(mutil::hash_bytes(key) %
+                            static_cast<std::uint64_t>(ctx_.size()));
   }
+  const auto dest_rank = static_cast<std::size_t>(dest);
   if (part_used_[dest_rank] + bytes > part_cap_) {
     // Suspend the map and run the implicit aggregate phase.
     (void)exchange_round(false);
@@ -67,6 +77,7 @@ bool Shuffle::exchange_round(bool this_rank_done) {
   // send partitions are drained through alltoallv, and the received KVs
   // land in the destination container.
   const stats::PhaseScope phase("aggregate");
+  inject::phase_point("aggregate");
   if (stats::Registry* reg = stats::current()) {
     reg->instant("exchange_round");
     reg->add("shuffle.rounds", 1);

@@ -1,0 +1,263 @@
+#include "inject/fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "mutil/config.hpp"
+#include "mutil/error.hpp"
+#include "mutil/sizes.hpp"
+#include "stats/registry.hpp"
+
+namespace inject {
+
+namespace {
+
+thread_local Injector* t_injector = nullptr;
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw mutil::ConfigError("inject: bad fault spec '" + std::string(spec) +
+                           "': " + why);
+}
+
+double parse_number(std::string_view text, std::string_view spec,
+                    const char* what) {
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) {
+    bad_spec(spec, std::string(what) + " '" + std::string(text) +
+                       "' is not a number");
+  }
+  return value;
+}
+
+/// "reduce" -> phase trigger; "1.5" -> time trigger.
+Trigger parse_trigger(std::string_view text, std::string_view spec) {
+  if (text.empty()) bad_spec(spec, "empty trigger after '@'");
+  double t = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, t);
+  if (ec == std::errc() && ptr == end) {
+    if (t < 0.0) bad_spec(spec, "negative time trigger");
+    return Trigger{"", t};
+  }
+  return Trigger{std::string(text), -1.0};
+}
+
+/// Split "body@trigger[#attempt]" off a clause tail.
+struct TriggeredClause {
+  std::string_view body;
+  Trigger trigger;
+  int attempt = 1;
+};
+
+TriggeredClause parse_triggered(std::string_view tail,
+                                std::string_view spec) {
+  TriggeredClause out;
+  const std::size_t at = tail.find('@');
+  if (at == std::string_view::npos) {
+    bad_spec(spec, "'" + std::string(tail) + "' needs an '@trigger'");
+  }
+  std::string_view trigger = tail.substr(at + 1);
+  out.body = tail.substr(0, at);
+  const std::size_t hash = trigger.rfind('#');
+  if (hash != std::string_view::npos) {
+    const double a =
+        parse_number(trigger.substr(hash + 1), spec, "attempt");
+    if (a < 1.0 || a != static_cast<int>(a)) {
+      bad_spec(spec, "attempt must be a positive integer");
+    }
+    out.attempt = static_cast<int>(a);
+    trigger = trigger.substr(0, hash);
+  }
+  out.trigger = parse_trigger(trigger, spec);
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view clause = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(comma + 1);
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) {
+      bad_spec(spec, "clause '" + std::string(clause) + "' has no ':'");
+    }
+    const std::string_view kind = clause.substr(0, colon);
+    const std::string_view tail = clause.substr(colon + 1);
+    if (kind == "rank_crash") {
+      const TriggeredClause tc = parse_triggered(tail, spec);
+      const double r = parse_number(tc.body, spec, "rank");
+      if (r < 0.0 || r != static_cast<int>(r)) {
+        bad_spec(spec, "rank must be a non-negative integer");
+      }
+      plan.crashes.push_back(
+          CrashFault{static_cast<int>(r), tc.trigger, tc.attempt});
+    } else if (kind == "mem_spike") {
+      const TriggeredClause tc = parse_triggered(tail, spec);
+      plan.spikes.push_back(MemSpike{mutil::parse_size(tc.body),
+                                     tc.trigger, tc.attempt});
+    } else if (kind == "pfs_error") {
+      const double p = parse_number(tail, spec, "probability");
+      if (p < 0.0 || p > 1.0) bad_spec(spec, "probability not in [0,1]");
+      plan.pfs_error_rate = p;
+    } else if (kind == "pfs_slow") {
+      const double f = parse_number(tail, spec, "factor");
+      if (f < 1.0) bad_spec(spec, "slowdown factor must be >= 1");
+      plan.pfs_slowdown = f;
+    } else if (kind == "seed") {
+      const double s = parse_number(tail, spec, "seed");
+      if (s < 0.0 || s != static_cast<std::uint64_t>(s)) {
+        bad_spec(spec, "seed must be a non-negative integer");
+      }
+      plan.seed = static_cast<std::uint64_t>(s);
+    } else {
+      bad_spec(spec, "unknown clause kind '" + std::string(kind) + "'");
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from(const mutil::Config& cfg) {
+  const std::string spec = cfg.get_string("mimir.inject", "");
+  if (spec.empty()) return std::nullopt;
+  return parse(spec);
+}
+
+namespace {
+
+/// Expand (seed, rank, attempt) into an independent per-rank stream.
+std::uint64_t stream_seed(std::uint64_t seed, int rank, int attempt) {
+  mutil::SplitMix64 mix(seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
+                        static_cast<std::uint64_t>(attempt));
+  return mix.next();
+}
+
+}  // namespace
+
+Injector::Injector(const FaultPlan& plan, int rank, int attempt)
+    : plan_(&plan),
+      rank_(rank),
+      attempt_(attempt),
+      rng_(stream_seed(plan.seed, rank, attempt)),
+      crash_fired_(plan.crashes.size(), false),
+      spike_fired_(plan.spikes.size(), false) {}
+
+void Injector::bind(simtime::Clock* clock, memtrack::Tracker* tracker) {
+  clock_ = clock;
+  tracker_ = tracker;
+}
+
+double Injector::now() const noexcept {
+  return clock_ != nullptr ? clock_->now() : 0.0;
+}
+
+bool Injector::trigger_matches(const Trigger& trigger,
+                               const char* phase) const {
+  if (trigger.is_time()) {
+    return clock_ != nullptr && clock_->now() >= trigger.at_time;
+  }
+  return phase != nullptr && trigger.phase == phase;
+}
+
+void Injector::crash(const CrashFault& /*fault*/, const char* where) {
+  throw mutil::RankFailedError(
+      "inject: rank " + std::to_string(rank_) + " crashed at " + where +
+          " (attempt " + std::to_string(attempt_) + ")",
+      rank_, now());
+}
+
+void Injector::spike(const MemSpike& s) {
+  ++stats_.mem_spikes;
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("inject.mem_spikes", 1);
+    reg->add("inject.mem_spike_bytes", s.bytes);
+  }
+  // Charge-then-release: the spike shows up in the rank/node peak (and
+  // may throw OutOfMemoryError against a node budget) without changing
+  // steady-state accounting.
+  tracker_->allocate(s.bytes);
+  tracker_->release(s.bytes);
+}
+
+void Injector::at_phase(const char* phase) {
+  // Spikes before crashes: a crash clause on the same point wins only
+  // after the spike has been charged, mirroring "the allocation raced
+  // the failure" and keeping ordering deterministic.
+  for (std::size_t i = 0; i < plan_->spikes.size(); ++i) {
+    const MemSpike& s = plan_->spikes[i];
+    if (spike_fired_[i] || s.attempt != attempt_ || tracker_ == nullptr) {
+      continue;
+    }
+    if (trigger_matches(s.trigger, phase)) {
+      // Phase triggers fire on every occurrence of the phase (e.g. each
+      // aggregate round); time triggers fire once.
+      if (s.trigger.is_time()) spike_fired_[i] = true;
+      spike(s);
+    }
+  }
+  for (std::size_t i = 0; i < plan_->crashes.size(); ++i) {
+    const CrashFault& c = plan_->crashes[i];
+    if (crash_fired_[i] || c.rank != rank_ || c.attempt != attempt_) {
+      continue;
+    }
+    if (trigger_matches(c.trigger, phase)) {
+      crash_fired_[i] = true;
+      crash(c, c.trigger.is_time()
+                   ? ("t>=" + std::to_string(c.trigger.at_time)).c_str()
+                   : phase);
+    }
+  }
+}
+
+double Injector::on_pfs(std::uint64_t bytes) {
+  ++stats_.pfs_ops;
+  // Time-triggered crashes are also evaluated here, so a rank dies near
+  // its deadline even inside a long I/O loop.
+  for (std::size_t i = 0; i < plan_->crashes.size(); ++i) {
+    const CrashFault& c = plan_->crashes[i];
+    if (!crash_fired_[i] && c.rank == rank_ && c.attempt == attempt_ &&
+        c.trigger.is_time() && trigger_matches(c.trigger, nullptr)) {
+      crash_fired_[i] = true;
+      crash(c, "pfs operation");
+    }
+  }
+  if (plan_->pfs_error_rate > 0.0 &&
+      rng_.uniform() < plan_->pfs_error_rate) {
+    ++stats_.pfs_errors;
+    if (stats::Registry* reg = stats::current()) {
+      reg->add("inject.pfs_errors", 1);
+    }
+    throw mutil::TransientIoError(
+        "inject: transient PFS error on rank " + std::to_string(rank_) +
+            " (op " + std::to_string(stats_.pfs_ops) + ", " +
+            std::to_string(bytes) + " bytes)",
+        now());
+  }
+  return plan_->pfs_slowdown;
+}
+
+Injector* current() noexcept { return t_injector; }
+
+ScopedInject::ScopedInject(Injector* injector) noexcept
+    : previous_(t_injector) {
+  t_injector = injector;
+}
+
+ScopedInject::~ScopedInject() { t_injector = previous_; }
+
+void phase_point(const char* phase) {
+  if (t_injector != nullptr) t_injector->at_phase(phase);
+}
+
+double pfs_point(std::uint64_t bytes) {
+  return t_injector != nullptr ? t_injector->on_pfs(bytes) : 1.0;
+}
+
+}  // namespace inject

@@ -1,0 +1,185 @@
+// Deterministic fault injection (the "mimir-inject" layer).
+//
+// The paper motivates Mimir partly by MR-MPI's fault intolerance, fixed
+// by the authors' companion checkpoint/restart work (Guo et al., SC'15)
+// that this repo reproduces in src/core/checkpoint.cpp. To exercise that
+// recovery path systematically — not ad hoc per test — this module
+// injects failures at deterministic points of the *simulation*:
+//
+//   * rank crash  — a chosen rank throws mutil::RankFailedError when it
+//     enters a chosen phase (or when its simulated clock passes a chosen
+//     time), on a chosen attempt;
+//   * transient PFS errors — each read/write fails with
+//     mutil::TransientIoError with a configured probability, drawn from
+//     a counter-based per-rank RNG; optionally, surviving operations run
+//     at degraded bandwidth (a cost multiplier);
+//   * memory spikes — a temporary charge through the rank's
+//     memtrack::Tracker at a phase entry, recording a peak (and possibly
+//     throwing OutOfMemoryError against the node budget).
+//
+// Determinism contract: every trigger is evaluated at a hook point of
+// the simulation (phase entry, PFS operation) against per-rank state
+// only — the rank's own operation counter, its own simulated clock, and
+// an RNG seeded from (plan seed, rank, attempt). Host-thread scheduling
+// never influences which faults fire, so a fixed FaultPlan yields the
+// same failure schedule on every run.
+//
+// Wiring follows the stats/check pattern: an Injector is bound
+// thread-local per rank (ScopedInject); framework hook sites call the
+// free functions below, which are no-ops when nothing is bound — with
+// injection disabled, simulated results are bit-identical to an
+// uninstrumented run (enforced by test).
+//
+// Plan grammar (one spec string, e.g. from config key "mimir.inject"):
+//
+//   spec      := clause (',' clause)*
+//   clause    := 'rank_crash:' rank '@' trigger ['#' attempt]
+//              | 'mem_spike:' size '@' trigger
+//              | 'pfs_error:' probability
+//              | 'pfs_slow:'  factor
+//              | 'seed:' integer
+//   trigger   := phase-name | simulated-seconds (number)
+//
+// e.g. "rank_crash:2@reduce,pfs_error:0.01,mem_spike:8K@convert".
+// Phase names are the framework's hook names: map, aggregate, convert,
+// reduce, partial_reduce, checkpoint_save, checkpoint_load. Crash and
+// spike clauses fire on attempt 1 unless '#N' says otherwise, so a
+// retried job is not killed again by the same clause.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memtrack/tracker.hpp"
+#include "mutil/random.hpp"
+#include "simtime/clock.hpp"
+
+namespace mutil {
+class Config;
+}
+
+namespace inject {
+
+/// When a clause fires: at entry of a named phase, or at the first hook
+/// point once the rank's simulated clock reaches `at_time`.
+struct Trigger {
+  std::string phase;     ///< empty for time triggers
+  double at_time = -1.0; ///< < 0 for phase triggers
+
+  bool is_time() const noexcept { return at_time >= 0.0; }
+};
+
+/// Kill one rank at a trigger point (on one attempt).
+struct CrashFault {
+  int rank = -1;
+  Trigger trigger;
+  int attempt = 1;
+};
+
+/// Charge a temporary allocation on every rank at a trigger point.
+struct MemSpike {
+  std::uint64_t bytes = 0;
+  Trigger trigger;
+  int attempt = 1;
+};
+
+/// A parsed, immutable failure schedule.
+struct FaultPlan {
+  std::uint64_t seed = 0x6d696d6972ULL;  // "mimir"
+  double pfs_error_rate = 0.0;  ///< probability per PFS operation
+  double pfs_slowdown = 1.0;    ///< cost multiplier for surviving ops
+  std::vector<CrashFault> crashes;
+  std::vector<MemSpike> spikes;
+
+  bool empty() const noexcept {
+    return pfs_error_rate == 0.0 && pfs_slowdown == 1.0 &&
+           crashes.empty() && spikes.empty();
+  }
+
+  /// Parse the spec grammar above; throws mutil::ConfigError.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Read key "mimir.inject" from `cfg`; nullopt when absent/empty.
+  static std::optional<FaultPlan> from(const mutil::Config& cfg);
+};
+
+/// Counters of what actually fired (per rank, per attempt).
+struct InjectStats {
+  std::uint64_t pfs_ops = 0;
+  std::uint64_t pfs_errors = 0;
+  std::uint64_t mem_spikes = 0;
+};
+
+/// One rank's injector for one attempt. Owns the deterministic RNG and
+/// the once-only flags for time triggers. Bound to the rank thread via
+/// ScopedInject; all hooks run on that thread only.
+class Injector {
+ public:
+  Injector(const FaultPlan& plan, int rank, int attempt = 1);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Attach the rank's substrate (needed for crash timestamps and
+  /// memory spikes). Hooks fire without these but report sim_time 0 and
+  /// skip spikes.
+  void bind(simtime::Clock* clock, memtrack::Tracker* tracker);
+
+  /// Phase-entry hook. May throw mutil::RankFailedError (crash) or
+  /// mutil::OutOfMemoryError (spike against a node budget).
+  void at_phase(const char* phase);
+
+  /// PFS-operation hook. May throw mutil::TransientIoError; returns the
+  /// cost multiplier for the surviving operation (1.0 = unchanged).
+  double on_pfs(std::uint64_t bytes);
+
+  const InjectStats& stats() const noexcept { return stats_; }
+  int rank() const noexcept { return rank_; }
+  int attempt() const noexcept { return attempt_; }
+
+ private:
+  double now() const noexcept;
+  /// `phase` is null at PFS hook points (only time triggers can fire).
+  bool trigger_matches(const Trigger& trigger, const char* phase) const;
+  [[noreturn]] void crash(const CrashFault& fault, const char* where);
+  void spike(const MemSpike& spike);
+
+  const FaultPlan* plan_;
+  int rank_;
+  int attempt_;
+  simtime::Clock* clock_ = nullptr;
+  memtrack::Tracker* tracker_ = nullptr;
+  mutil::Xoshiro256 rng_;
+  std::vector<bool> crash_fired_;
+  std::vector<bool> spike_fired_;
+  InjectStats stats_;
+};
+
+/// The calling thread's injector, or nullptr (the default).
+Injector* current() noexcept;
+
+/// RAII thread-local injector binding (restores the previous one).
+class ScopedInject {
+ public:
+  explicit ScopedInject(Injector* injector) noexcept;
+  ~ScopedInject();
+
+  ScopedInject(const ScopedInject&) = delete;
+  ScopedInject& operator=(const ScopedInject&) = delete;
+
+ private:
+  Injector* previous_;
+};
+
+/// Framework hook: phase entry on the calling rank thread. No-op when
+/// no injector is bound.
+void phase_point(const char* phase);
+
+/// Framework hook: one PFS operation of `bytes`. Returns the cost
+/// multiplier (1.0 when unbound); may throw mutil::TransientIoError.
+double pfs_point(std::uint64_t bytes);
+
+}  // namespace inject

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "inject/fault.hpp"
 #include "mutil/error.hpp"
 #include "stats/registry.hpp"
 
@@ -157,13 +158,17 @@ void FileSystem::record_write(std::uint64_t bytes) noexcept {
 
 void Writer::write(std::span<const std::byte> data, simtime::Clock& clock) {
   if (!valid()) throw mutil::IoError("pfs: write on invalid Writer");
+  // Fault hook fires before the mutation: a transient injected error
+  // leaves the file untouched, so the caller can simply retry.
+  const double slow = inject::pfs_point(data.size());
   {
     const std::scoped_lock lock(file_->mutex);
     file_->bytes.insert(file_->bytes.end(), data.begin(), data.end());
   }
   written_ += data.size();
   fs_->record_write(data.size());
-  const double cost = fs_->cost(data.size());
+  double cost = fs_->cost(data.size());
+  if (slow != 1.0) cost *= slow;
   record_io("pfs.bytes_written", "pfs.write_ops", data.size(), cost);
   clock.advance(cost);
 }
@@ -176,6 +181,7 @@ void Writer::write(std::string_view text, simtime::Clock& clock) {
 
 std::size_t Reader::read(std::span<std::byte> out, simtime::Clock& clock) {
   if (!valid()) throw mutil::IoError("pfs: read on invalid Reader");
+  const double slow = inject::pfs_point(out.size());
   std::size_t n = 0;
   {
     const std::scoped_lock lock(file_->mutex);
@@ -186,13 +192,16 @@ std::size_t Reader::read(std::span<std::byte> out, simtime::Clock& clock) {
   }
   offset_ += n;
   fs_->record_read(n);
-  const double cost = fs_->cost(n);
+  double cost = fs_->cost(n);
+  if (slow != 1.0) cost *= slow;
   record_io("pfs.bytes_read", "pfs.read_ops", n, cost);
   clock.advance(cost);
   return n;
 }
 
 std::vector<std::byte> Reader::read_all(simtime::Clock& clock) {
+  if (!valid()) throw mutil::IoError("pfs: read on invalid Reader");
+  const double slow = inject::pfs_point(0);
   std::vector<std::byte> out;
   {
     const std::scoped_lock lock(file_->mutex);
@@ -203,7 +212,8 @@ std::vector<std::byte> Reader::read_all(simtime::Clock& clock) {
   }
   offset_ += out.size();
   fs_->record_read(out.size());
-  const double cost = fs_->cost(out.size());
+  double cost = fs_->cost(out.size());
+  if (slow != 1.0) cost *= slow;
   record_io("pfs.bytes_read", "pfs.read_ops", out.size(), cost);
   clock.advance(cost);
   return out;

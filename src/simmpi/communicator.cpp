@@ -522,7 +522,7 @@ std::vector<std::byte> Communicator::recv(int source, int tag) {
   auto& box = *s.mailboxes[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mutex);
   for (;;) {
-    if (s.is_aborted()) throw mutil::CommError("simmpi: job aborted");
+    s.throw_if_aborted();
     const auto it =
         std::find_if(box.messages.begin(), box.messages.end(),
                      [&](const detail::Mailbox::Message& m) {

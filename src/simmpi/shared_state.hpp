@@ -93,6 +93,13 @@ struct SharedState {
   int arrived = 0;
   std::uint64_t generation = 0;
   bool aborted = false;
+  // When the abort cause was a rank death (mutil::RankFailedError),
+  // peers unwinding out of collectives/recv rethrow a RankFailedError
+  // naming the dead rank instead of a generic CommError, so job-level
+  // recovery can classify the failure. Guarded by `mutex` with
+  // `aborted`.
+  int failed_rank = -1;
+  double failed_time = 0.0;
 
   // First exception wins; the rest are dropped.
   std::mutex error_mutex;
@@ -133,10 +140,24 @@ struct SharedState {
     return net_latency * rounds();
   }
 
-  /// Enter the global barrier; throws mutil::CommError once aborted.
+  /// Throw the abort error for a peer rank: a RankFailedError naming
+  /// the dead rank when the abort cause was a rank death, else a
+  /// generic CommError. Caller must hold `mutex`.
+  [[noreturn]] void throw_aborted_locked() const {
+    if (failed_rank >= 0) {
+      throw mutil::RankFailedError(
+          "simmpi: job aborted: rank " + std::to_string(failed_rank) +
+              " failed",
+          failed_rank, failed_time);
+    }
+    throw mutil::CommError("simmpi: job aborted");
+  }
+
+  /// Enter the global barrier; throws once aborted (RankFailedError
+  /// when a peer died, CommError otherwise).
   void barrier_wait() {
     std::unique_lock lock(mutex);
-    if (aborted) throw mutil::CommError("simmpi: job aborted");
+    if (aborted) throw_aborted_locked();
     const std::uint64_t gen = generation;
     if (++arrived == nranks) {
       arrived = 0;
@@ -145,20 +166,41 @@ struct SharedState {
     } else {
       cv.wait(lock, [&] { return generation != gen || aborted; });
       if (aborted && generation == gen) {
-        throw mutil::CommError("simmpi: job aborted");
+        throw_aborted_locked();
       }
     }
   }
 
   /// Record the first error, mark the job aborted, wake every waiter.
   void abort(std::exception_ptr error) {
+    bool first = false;
     {
       const std::scoped_lock lock(error_mutex);
-      if (!first_error) first_error = error;
+      if (!first_error) {
+        first_error = error;
+        first = true;
+      }
+    }
+    // Classify a rank death so blocked peers rethrow it by name. Only
+    // the winning (first) error decides, keeping the verdict stable.
+    int dead_rank = -1;
+    double dead_time = 0.0;
+    if (first) {
+      try {
+        std::rethrow_exception(error);
+      } catch (const mutil::RankFailedError& e) {
+        dead_rank = e.rank();
+        dead_time = e.sim_time();
+      } catch (...) {
+      }
     }
     {
       const std::scoped_lock lock(mutex);
       aborted = true;
+      if (first && dead_rank >= 0) {
+        failed_rank = dead_rank;
+        failed_time = dead_time;
+      }
     }
     cv.notify_all();
     for (auto& box : mailboxes) {
@@ -178,6 +220,12 @@ struct SharedState {
   bool is_aborted() {
     const std::scoped_lock lock(mutex);
     return aborted;
+  }
+
+  /// Throw the (classified) abort error if the job has been aborted.
+  void throw_if_aborted() {
+    const std::scoped_lock lock(mutex);
+    if (aborted) throw_aborted_locked();
   }
 };
 

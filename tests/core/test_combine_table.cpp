@@ -125,6 +125,49 @@ TEST(CombineTable, ClearThenReuse) {
   EXPECT_EQ(mimir::as_u64(result.at("a")), 7u);
 }
 
+TEST(CombineTable, SizeChangingCombinesKeepFootprintBounded) {
+  // Regression: before compaction existed, every size-changing combine
+  // left its superseded record in the arena forever, so a growing-value
+  // workload ballooned the footprint without bound. The arena must now
+  // stay within a small multiple of the live data, with the transient
+  // compaction copy keeping the tracker peak bounded too.
+  memtrack::Tracker tracker;
+  constexpr std::uint64_t kPage = 1024;
+  CombineTable table(tracker, kPage, {}, concat);
+  std::map<std::string, std::string> reference;
+  for (int round = 0; round < 400; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      const std::string piece = std::to_string(round);
+      table.upsert(key, piece);
+      if (reference[key].empty()) {
+        reference[key] = piece;
+      } else {
+        reference[key] += "," + piece;
+      }
+    }
+  }
+  EXPECT_GT(table.compactions(), 0u);
+  // Invariant from the header: dead bytes never exceed
+  // max(live_bytes, page) before compaction fires, so the arena holds at
+  // most live + dead + one page of slack per page boundary. Allow 3x
+  // live + a couple of pages of slack as the bound.
+  EXPECT_LE(table.arena_bytes(), 3 * table.live_bytes() + 4 * kPage)
+      << "arena grew out of proportion to live data";
+  EXPECT_LE(table.dead_bytes(),
+            std::max(table.live_bytes(), kPage));
+  // The peak includes one transient copy of the live data during
+  // compaction; it must not scale with the total garbage ever produced
+  // (which is ~100x the live size in this workload).
+  EXPECT_LE(tracker.peak(), 8 * table.live_bytes() + 16 * kPage)
+      << "compaction peak not bounded";
+  // Compaction preserved every record.
+  const auto result = drain(table);
+  for (const auto& [key, expected] : reference) {
+    EXPECT_EQ(result.at(key), expected) << key;
+  }
+}
+
 // Property: combining N random increments per key equals the serial sum,
 // for several key cardinalities.
 class CombineSumProperty : public ::testing::TestWithParam<int> {};

@@ -79,6 +79,35 @@ TEST(Codec, RejectsNonsenseHints) {
   EXPECT_THROW(KVCodec(KVHint{0, -7}), mutil::ConfigError);
 }
 
+TEST(Codec, StringHintRejectsEmbeddedNul) {
+  // The kString encoding is NUL-terminated and decodes with strlen, so
+  // an embedded NUL would silently truncate the field and desynchronize
+  // every record behind it. encoded_size() (hence every encode path)
+  // must reject it up front.
+  const KVCodec key_hinted{KVHint::string_key_u64_value()};
+  const std::string poisoned = std::string("ab\0cd", 5);
+  EXPECT_THROW(key_hinted.encoded_size(poisoned, std::string(8, 'v')),
+               mutil::UsageError);
+
+  const KVCodec value_hinted{{KVHint::kVariable, KVHint::kString}};
+  EXPECT_THROW(value_hinted.encoded_size("key", poisoned),
+               mutil::UsageError);
+
+  // Binary data is fine under hints that can represent it.
+  const KVCodec variable{KVHint::variable()};
+  std::vector<std::byte> buf(variable.encoded_size(poisoned, poisoned));
+  variable.encode(buf.data(), poisoned, poisoned);
+  std::size_t consumed = 0;
+  const KVView kv = variable.decode(buf.data(), &consumed);
+  EXPECT_EQ(kv.key, poisoned);
+  EXPECT_EQ(kv.value, poisoned);
+
+  // And NUL-free strings still round-trip under the string hint.
+  std::vector<std::byte> ok(key_hinted.encoded_size("abcd",
+                                                    std::string(8, 'v')));
+  EXPECT_EQ(ok.size(), 4u + 1 + 8);
+}
+
 TEST(Codec, ForEachWalksAStream) {
   const KVCodec codec{KVHint::variable()};
   std::vector<std::byte> buf;

@@ -113,6 +113,45 @@ TEST(Shuffle, EmitAfterFinalizeRejected) {
                mutil::UsageError);
 }
 
+TEST(Shuffle, NegativePartitionerResultRejectedWhileSigned) {
+  // Regression: the partitioner's int result used to be cast straight to
+  // size_t, so a buggy partitioner returning -1 either indexed the
+  // partition table at 2^64-1 or surfaced as a nonsense "rank
+  // 18446744073709551615" error. The check must happen on the signed
+  // value and the error must name the partitioner contract.
+  try {
+    simmpi::run_test(2, [](Context& ctx) {
+      KVContainer dest(ctx.tracker, 4096);
+      Shuffle shuffle(ctx, 256, {}, dest,
+                      [](std::string_view, int) { return -1; });
+      shuffle.emit("k", "v");
+    });
+    FAIL() << "expected UsageError";
+  } catch (const mutil::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("partitioner returned rank -1"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("partitioner contract"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Shuffle, OutOfRangePartitionerResultRejected) {
+  EXPECT_THROW(
+      simmpi::run_test(2,
+                       [](Context& ctx) {
+                         KVContainer dest(ctx.tracker, 4096);
+                         Shuffle shuffle(
+                             ctx, 256, {}, dest,
+                             [](std::string_view, int nranks) {
+                               return nranks;  // one past the end
+                             });
+                         shuffle.emit("k", "v");
+                       }),
+      mutil::UsageError);
+}
+
 TEST(Convert, GroupsValuesByKey) {
   simmpi::run_test(1, [](Context& ctx) {
     KVContainer kvc(ctx.tracker, 4096);
