@@ -121,6 +121,26 @@ void check_bench(const Value& doc) {
            std::to_string(counter_sent));
     }
 
+    // Scheduler runs must carry a consistent admission story: every
+    // job was either admitted to wave 0 or queued to a later one, and
+    // at least one wave executed.
+    const Value* sched_jobs = stats.at("counters").find("sched.jobs");
+    if (sched_jobs != nullptr) {
+      const Value* admitted = stats.at("counters").find("sched.admitted");
+      const Value* queued = stats.at("counters").find("sched.queued");
+      const Value* waves = stats.at("counters").find("sched.waves");
+      const std::uint64_t adm = admitted ? admitted->as_u64() : 0;
+      const std::uint64_t que = queued ? queued->as_u64() : 0;
+      if (adm + que != sched_jobs->as_u64()) {
+        fail(where + ": sched.admitted " + std::to_string(adm) +
+             " + sched.queued " + std::to_string(que) +
+             " != sched.jobs " + std::to_string(sched_jobs->as_u64()));
+      }
+      if (waves == nullptr || waves->as_u64() == 0) {
+        fail(where + ": sched point without a positive sched.waves");
+      }
+    }
+
     // Sweep points (app/x/series all set) must match the printed table.
     if (point.at("x").str.empty() || point.at("series").str.empty()) {
       continue;

@@ -78,6 +78,32 @@ Outcome run_config(int nranks, const simtime::MachineProfile& machine,
   return outcome;
 }
 
+Outcome run_driver(const DriverFn& fn, const RunLabel& label) {
+  Outcome outcome;
+  Report* report = Report::active();
+  std::unique_ptr<stats::Collector> collector;
+  if (report != nullptr) collector = std::make_unique<stats::Collector>();
+  try {
+    const auto stats = fn(collector.get());
+    outcome.time = stats.sim_time;
+    outcome.peak = stats.node_peak;
+    outcome.shuffled = stats.shuffle_bytes;
+    outcome.status = Outcome::Status::kOk;
+  } catch (const mutil::OutOfMemoryError& e) {
+    outcome.status = Outcome::Status::kOom;
+    outcome.detail = e.what();
+  } catch (const mutil::Error& e) {
+    outcome.status = Outcome::Status::kError;
+    outcome.detail = e.what();
+  }
+  if (report != nullptr) {
+    outcome.profile =
+        std::make_shared<const stats::Summary>(collector->summary());
+    report->add_run(label, outcome, *collector);
+  }
+  return outcome;
+}
+
 void Report::init(const std::string& figure, const mutil::Config& cfg) {
   const bool stats = cfg.get_bool("stats", false);
   const bool trace = cfg.get_bool("trace", false);

@@ -69,6 +69,17 @@ Outcome run_config(int nranks, const simtime::MachineProfile& machine,
                    pfs::FileSystem& fs, const BenchFn& fn,
                    const RunLabel& label = {});
 
+/// A driver that owns its own simmpi::run invocation (recovery loops,
+/// sched::run_graph, multi-job pipelines). It receives the profiling
+/// collector (nullptr while reporting is off) to pass through to its
+/// runner and returns the stats it wants recorded. Spill reporting is
+/// the driver's business — set Outcome::Status::kSpilled via the
+/// returned stats' io fields only if it matters to the figure.
+using DriverFn = std::function<simmpi::JobStats(stats::Collector*)>;
+
+/// run_config for custom drivers: same error envelope and report point.
+Outcome run_driver(const DriverFn& fn, const RunLabel& label = {});
+
 /// Scale helper: our bytes -> the paper's label (x1024), e.g. 1M -> "1G".
 std::string paper_size(std::uint64_t scaled_bytes);
 

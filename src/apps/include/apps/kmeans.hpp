@@ -15,10 +15,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mimir/job.hpp"
 #include "mrmpi/mrmpi.hpp"
+#include "sched/graph.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace apps::km {
@@ -56,5 +58,20 @@ Result reference(const RunOptions& opts);
 Result run_mimir(simmpi::Context& ctx, const RunOptions& opts);
 Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
                  mrmpi::OocMode ooc = mrmpi::OocMode::kSpill);
+
+/// Lloyd's algorithm as a sched::Graph: one node per iteration, chained
+/// by order edges (the handed-off state is the centroid vector, which
+/// lives in the per-rank session state, not a KV container).
+struct SchedRun {
+  sched::Graph graph;
+  sched::GraphOptions options;
+  std::shared_ptr<std::vector<Result>> results;  ///< per world rank
+};
+SchedRun make_sched(const RunOptions& opts, int nranks);
+
+/// Convenience: make_sched + sched::run_graph; returns rank 0's result
+/// (identical on every rank).
+Result run_sched(int nranks, const simtime::MachineProfile& machine,
+                 pfs::FileSystem& fs, const RunOptions& opts);
 
 }  // namespace apps::km

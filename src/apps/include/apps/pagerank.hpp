@@ -15,10 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "mimir/job.hpp"
 #include "mrmpi/mrmpi.hpp"
+#include "sched/graph.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace apps::pr {
@@ -57,5 +60,43 @@ std::unordered_map<std::uint64_t, double> reference_ranks(
 Result run_mimir(simmpi::Context& ctx, const RunOptions& opts);
 Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
                  mrmpi::OocMode ooc = mrmpi::OocMode::kSpill);
+
+/// One entry of the downstream top-k job: contribution mass received by
+/// a vertex in the final iteration.
+struct TopKEntry {
+  double contribution = 0;
+  std::uint64_t vertex = 0;
+
+  friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
+};
+
+/// Manual sequential baseline for the pagerank + top-k pipeline: the
+/// iteration loop of run_mimir followed by a top-k job fed the final
+/// iteration's output via map_kvs. `top` receives this rank's merged
+/// entries (non-empty only on the hash owner of the top-k key).
+Result run_mimir_topk(simmpi::Context& ctx, const RunOptions& opts, int k,
+                      std::vector<TopKEntry>* top);
+
+/// PageRank as a sched::Graph: a partition node, one node per power
+/// iteration (chained with order edges), and — when top_k > 0 — a
+/// downstream top-k job fed by a data edge from the last iteration.
+/// `options` comes prefilled with the per-rank state factory and the
+/// epilogue; callers may still set budget/concurrency/checkpoint knobs
+/// before running the graph.
+struct SchedRun {
+  sched::Graph graph;
+  sched::GraphOptions options;
+  std::shared_ptr<std::vector<Result>> results;  ///< per world rank
+  std::shared_ptr<std::vector<std::vector<TopKEntry>>> tops;  ///< per rank
+};
+SchedRun make_sched(const RunOptions& opts, int nranks, int top_k = 0);
+
+/// Convenience: make_sched + sched::run_graph; returns rank 0's result
+/// (identical on every rank). `tops` receives the per-rank top-k lists
+/// when top_k > 0.
+Result run_sched(int nranks, const simtime::MachineProfile& machine,
+                 pfs::FileSystem& fs, const RunOptions& opts,
+                 int top_k = 0,
+                 std::vector<std::vector<TopKEntry>>* tops = nullptr);
 
 }  // namespace apps::pr

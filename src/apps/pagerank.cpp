@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/bfs.hpp"  // kronecker_edge
 #include "apps/csr.hpp"
 #include "apps/vertex_map.hpp"
+#include "mutil/error.hpp"
 #include "mutil/hash.hpp"
+#include "sched/scheduler.hpp"
 
 namespace apps::pr {
 
@@ -59,6 +65,71 @@ double apply_update(const std::vector<std::uint64_t>& owned,
   }
   *dangling_out = next_dangling;
   return delta;
+}
+
+// --- downstream top-k job ------------------------------------------------
+//
+// Every contribution KV of the final iteration is re-keyed to a single
+// well-known key whose value is a packed, sorted, k-truncated list of
+// (contribution, vertex) entries; the partial-reduce combiner merges two
+// lists. The merged list ends up on the key's hash-owner rank.
+
+constexpr std::uint64_t kTopKey = 0;
+
+std::string pack_topk(const std::vector<TopKEntry>& entries) {
+  std::string out;
+  out.reserve(entries.size() * 16);
+  for (const TopKEntry& e : entries) {
+    out.append(reinterpret_cast<const char*>(&e.contribution), 8);
+    out.append(reinterpret_cast<const char*>(&e.vertex), 8);
+  }
+  return out;
+}
+
+std::vector<TopKEntry> unpack_topk(std::string_view v) {
+  std::vector<TopKEntry> entries(v.size() / 16);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::memcpy(&entries[i].contribution, v.data() + i * 16, 8);
+    std::memcpy(&entries[i].vertex, v.data() + i * 16 + 8, 8);
+  }
+  return entries;
+}
+
+/// Highest contribution first; ties broken by smaller vertex id so the
+/// merge is a deterministic function of the entry *set*.
+bool topk_before(const TopKEntry& a, const TopKEntry& b) {
+  if (a.contribution != b.contribution) {
+    return a.contribution > b.contribution;
+  }
+  return a.vertex < b.vertex;
+}
+
+mimir::CombineFn topk_combiner(int k) {
+  return [k](std::string_view, std::string_view a, std::string_view b,
+             std::string& out) {
+    std::vector<TopKEntry> merged = unpack_topk(a);
+    const std::vector<TopKEntry> other = unpack_topk(b);
+    merged.insert(merged.end(), other.begin(), other.end());
+    std::sort(merged.begin(), merged.end(), topk_before);
+    if (merged.size() > static_cast<std::size_t>(k)) {
+      merged.resize(static_cast<std::size_t>(k));
+    }
+    out.assign(pack_topk(merged));
+  };
+}
+
+mimir::JobConfig topk_config(const RunOptions& opts) {
+  mimir::JobConfig cfg;
+  cfg.page_size = opts.page_size;
+  cfg.comm_buffer = opts.comm_buffer;
+  cfg.hint = mimir::KVHint{8, mimir::KVHint::kVariable};
+  return cfg;
+}
+
+void topk_map_kv(std::string_view key, std::string_view value,
+                 mimir::Emitter& out) {
+  const TopKEntry entry{mimir::as_f64(value), mimir::as_u64(key)};
+  out.emit(id_view(kTopKey), pack_topk({entry}));
 }
 
 }  // namespace
@@ -113,7 +184,8 @@ Result reference(const RunOptions& opts) {
   return result;
 }
 
-Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
+static Result run_mimir_impl(simmpi::Context& ctx, const RunOptions& opts,
+                             int k, std::vector<TopKEntry>* top) {
   const std::uint64_t n = opts.num_vertices();
   mimir::JobConfig cfg;
   cfg.page_size = opts.page_size;
@@ -156,6 +228,7 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
   const double base = (1.0 - opts.damping) / static_cast<double>(n);
 
   Result result;
+  std::optional<mimir::KVContainer> final_out;
   for (int it = 0; it < opts.iterations; ++it) {
     const double dangling =
         ctx.comm.allreduce_f64(dangling_local, simmpi::Op::kSum);
@@ -184,6 +257,23 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
         base, opts.damping, ranks, &dangling_local);
     result.last_delta =
         ctx.comm.allreduce_f64(local_delta, simmpi::Op::kSum);
+    if (k > 0 && it + 1 == opts.iterations) {
+      final_out = step.take_output();
+    }
+  }
+
+  // Downstream top-k: a second job chained on the final iteration's
+  // output container — the same data handoff the scheduler performs
+  // over a data edge.
+  if (k > 0) {
+    mimir::Job topk(ctx, topk_config(opts));
+    topk.map_kvs(std::move(*final_out), topk_map_kv);
+    topk.partial_reduce(topk_combiner(k));
+    top->clear();
+    topk.output().scan([&](const mimir::KVView& kv) {
+      const auto entries = unpack_topk(kv.value);
+      top->insert(top->end(), entries.begin(), entries.end());
+    });
   }
 
   double local_total = 0, local_max = 0;
@@ -202,6 +292,19 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
       local_max == result.max_rank ? local_argmax : 0, simmpi::Op::kMax);
   ctx.tracker.release(owned.size() * 8);
   return result;
+}
+
+Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
+  return run_mimir_impl(ctx, opts, 0, nullptr);
+}
+
+Result run_mimir_topk(simmpi::Context& ctx, const RunOptions& opts, int k,
+                      std::vector<TopKEntry>* top) {
+  if (k < 1) throw mutil::UsageError("pagerank: top-k needs k >= 1");
+  if (opts.iterations < 1) {
+    throw mutil::UsageError("pagerank: top-k needs at least one iteration");
+  }
+  return run_mimir_impl(ctx, opts, k, top);
 }
 
 Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
@@ -292,6 +395,184 @@ Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
   result.spilled = ctx.comm.allreduce_lor(mr.metrics().spilled);
   ctx.tracker.release(owned.size() * 8);
   return result;
+}
+
+// --- dataflow-scheduler driver -------------------------------------------
+
+namespace {
+
+/// Rank-local session state threaded through the graph's node hooks;
+/// rebuilt from node outputs on every attempt, so recovery resumes can
+/// reconstruct it by replaying consume hooks on reloaded checkpoints.
+struct PrState {
+  explicit PrState(simmpi::Context& ctx)
+      : out_edges(ctx.tracker), ranks(ctx.tracker) {}
+
+  Csr out_edges;
+  std::vector<std::uint64_t> owned;
+  VertexMap<double> ranks;
+  double dangling_local = 0;
+  double dangling = 0;  ///< global dangling mass of the current iteration
+  double base = 0;
+  Result result;
+  std::vector<TopKEntry> top;
+};
+
+PrState* pr_state(sched::NodeCtx& nctx) {
+  return static_cast<PrState*>(nctx.state);
+}
+
+}  // namespace
+
+SchedRun make_sched(const RunOptions& opts, int nranks, int top_k) {
+  if (top_k > 0 && opts.iterations < 1) {
+    throw mutil::UsageError("pagerank: top-k needs at least one iteration");
+  }
+  const std::uint64_t n = opts.num_vertices();
+  mimir::JobConfig cfg;
+  cfg.page_size = opts.page_size;
+  cfg.comm_buffer = opts.comm_buffer;
+  cfg.hint = hint_for(opts.hint);
+  cfg.kv_compression = opts.cps;
+  mimir::JobConfig partition_cfg = cfg;
+  partition_cfg.kv_compression = false;
+
+  SchedRun run;
+  run.results = std::make_shared<std::vector<Result>>(nranks);
+  run.tops = std::make_shared<std::vector<std::vector<TopKEntry>>>(nranks);
+
+  sched::JobNode partition;
+  partition.name = "pr-partition";
+  partition.config = partition_cfg;
+  partition.producer = [opts](sched::NodeCtx& nctx, mimir::Emitter& out) {
+    const std::uint64_t edges = opts.num_edges();
+    const auto r = static_cast<std::uint64_t>(nctx.exec.rank());
+    const auto p = static_cast<std::uint64_t>(nctx.exec.size());
+    for (std::uint64_t e = edges * r / p; e < edges * (r + 1) / p; ++e) {
+      const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+      out.emit(id_view(u), id_view(v));
+    }
+  };
+  partition.consume = [opts, n](sched::NodeCtx& nctx,
+                                mimir::KVContainer& out) {
+    PrState* st = pr_state(nctx);
+    st->out_edges.build([&](const auto& fn) { out.scan(fn); });
+    st->owned = owned_vertices(n, nctx.exec.rank(), nctx.exec.size());
+    nctx.exec.tracker.allocate(st->owned.size() * 8);
+    st->dangling_local = 0;
+    for (const std::uint64_t v : st->owned) {
+      st->ranks.put(v, 1.0 / static_cast<double>(n));
+      if (st->out_edges.degree_of(v) == 0) {
+        st->dangling_local += 1.0 / static_cast<double>(n);
+      }
+    }
+    st->base = (1.0 - opts.damping) / static_cast<double>(n);
+  };
+  int prev = run.graph.add(std::move(partition));
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    sched::JobNode step;
+    step.name = "pr-iter" + std::to_string(it);
+    step.config = cfg;
+    step.producer = [](sched::NodeCtx& nctx, mimir::Emitter& out) {
+      PrState* st = pr_state(nctx);
+      st->dangling = nctx.exec.comm.allreduce_f64(st->dangling_local,
+                                                  simmpi::Op::kSum);
+      for (const std::uint64_t v : st->owned) {
+        const auto neighbors = st->out_edges.neighbors_of(v);
+        if (neighbors.empty()) continue;
+        const double share = st->ranks.find(v).value_or(0.0) /
+                             static_cast<double>(neighbors.size());
+        for (const std::uint64_t t : neighbors) {
+          out.emit(id_view(t), mimir::as_view(share));
+        }
+      }
+    };
+    step.combiner =
+        opts.cps ? mimir::CombineFn(combine_sum) : mimir::CombineFn{};
+    step.partial = combine_sum;
+    step.consume = [opts, n](sched::NodeCtx& nctx, mimir::KVContainer& out) {
+      PrState* st = pr_state(nctx);
+      if (nctx.resumed) {
+        // The producer (which normally reduces the dangling mass right
+        // before emitting) was skipped; recompute it from the rebuilt
+        // per-rank state so apply_update below sees the right value.
+        st->dangling = nctx.exec.comm.allreduce_f64(st->dangling_local,
+                                                    simmpi::Op::kSum);
+      }
+      VertexMap<double> contributions(nctx.exec.tracker);
+      out.scan([&](const mimir::KVView& kv) {
+        contributions.put(mimir::as_u64(kv.key), mimir::as_f64(kv.value));
+      });
+      const double local_delta = apply_update(
+          st->owned, contributions, st->out_edges,
+          st->dangling / static_cast<double>(n), st->base, opts.damping,
+          st->ranks, &st->dangling_local);
+      st->result.last_delta =
+          nctx.exec.comm.allreduce_f64(local_delta, simmpi::Op::kSum);
+    };
+    const int id = run.graph.add(std::move(step));
+    run.graph.add_order(prev, id);
+    prev = id;
+  }
+
+  if (top_k > 0) {
+    sched::JobNode topk;
+    topk.name = "pr-topk";
+    topk.config = topk_config(opts);
+    topk.kv_map = [](sched::NodeCtx&, std::string_view key,
+                     std::string_view value, mimir::Emitter& out) {
+      topk_map_kv(key, value, out);
+    };
+    topk.partial = topk_combiner(top_k);
+    topk.consume = [](sched::NodeCtx& nctx, mimir::KVContainer& out) {
+      PrState* st = pr_state(nctx);
+      st->top.clear();
+      out.scan([&](const mimir::KVView& kv) {
+        const auto entries = unpack_topk(kv.value);
+        st->top.insert(st->top.end(), entries.begin(), entries.end());
+      });
+    };
+    run.graph.add_edge(prev, run.graph.add(std::move(topk)));
+  }
+
+  run.options.make_state = [](simmpi::Context& ctx) {
+    return std::static_pointer_cast<void>(std::make_shared<PrState>(ctx));
+  };
+  auto results = run.results;
+  auto tops = run.tops;
+  run.options.epilogue = [results, tops](sched::NodeCtx& nctx) {
+    PrState* st = pr_state(nctx);
+    double local_total = 0, local_max = 0;
+    std::uint64_t local_argmax = 0;
+    st->ranks.for_each([&](std::uint64_t v, double r) {
+      local_total += r;
+      if (r > local_max) {
+        local_max = r;
+        local_argmax = v;
+      }
+    });
+    st->result.total_rank =
+        nctx.exec.comm.allreduce_f64(local_total, simmpi::Op::kSum);
+    st->result.max_rank =
+        nctx.exec.comm.allreduce_f64(local_max, simmpi::Op::kMax);
+    st->result.max_vertex = nctx.exec.comm.allreduce_u64(
+        local_max == st->result.max_rank ? local_argmax : 0,
+        simmpi::Op::kMax);
+    nctx.exec.tracker.release(st->owned.size() * 8);
+    (*results)[nctx.world_rank] = st->result;
+    (*tops)[nctx.world_rank] = st->top;
+  };
+  return run;
+}
+
+Result run_sched(int nranks, const simtime::MachineProfile& machine,
+                 pfs::FileSystem& fs, const RunOptions& opts, int top_k,
+                 std::vector<std::vector<TopKEntry>>* tops) {
+  SchedRun run = make_sched(opts, nranks, top_k);
+  sched::run_graph(nranks, machine, fs, run.graph, run.options);
+  if (tops != nullptr) *tops = *run.tops;
+  return run.results->front();
 }
 
 }  // namespace apps::pr

@@ -89,6 +89,7 @@ RecoveryOutcome run_with_recovery(int nranks,
             if (plan != nullptr && !plan->empty()) {
               injector.emplace(*plan, ctx.rank(), attempt);
               injector->bind(&ctx.clock(), &ctx.tracker);
+              injector->set_topology(machine.ranks_per_node);
               scope.emplace(&*injector);
             }
             if (start_offset > 0.0) ctx.clock().advance(start_offset);

@@ -99,6 +99,14 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       }
       plan.crashes.push_back(
           CrashFault{static_cast<int>(r), tc.trigger, tc.attempt});
+    } else if (kind == "node_crash") {
+      const TriggeredClause tc = parse_triggered(tail, spec);
+      const double n = parse_number(tc.body, spec, "node");
+      if (n < 0.0 || n != static_cast<int>(n)) {
+        bad_spec(spec, "node must be a non-negative integer");
+      }
+      plan.node_crashes.push_back(
+          NodeCrash{static_cast<int>(n), tc.trigger, tc.attempt});
     } else if (kind == "mem_spike") {
       const TriggeredClause tc = parse_triggered(tail, spec);
       plan.spikes.push_back(MemSpike{mutil::parse_size(tc.body),
@@ -147,11 +155,19 @@ Injector::Injector(const FaultPlan& plan, int rank, int attempt)
       attempt_(attempt),
       rng_(stream_seed(plan.seed, rank, attempt)),
       crash_fired_(plan.crashes.size(), false),
+      node_crash_fired_(plan.node_crashes.size(), false),
       spike_fired_(plan.spikes.size(), false) {}
 
 void Injector::bind(simtime::Clock* clock, memtrack::Tracker* tracker) {
   clock_ = clock;
   tracker_ = tracker;
+}
+
+void Injector::set_topology(int ranks_per_node) {
+  if (ranks_per_node < 1) {
+    throw mutil::UsageError("inject: ranks_per_node must be >= 1");
+  }
+  ranks_per_node_ = ranks_per_node;
 }
 
 double Injector::now() const noexcept {
@@ -170,6 +186,14 @@ void Injector::crash(const CrashFault& /*fault*/, const char* where) {
   throw mutil::RankFailedError(
       "inject: rank " + std::to_string(rank_) + " crashed at " + where +
           " (attempt " + std::to_string(attempt_) + ")",
+      rank_, now());
+}
+
+void Injector::node_down(const NodeCrash& fault, const char* where) {
+  throw mutil::RankFailedError(
+      "inject: node " + std::to_string(fault.node) + " lost at " + where +
+          " (rank " + std::to_string(rank_) + ", attempt " +
+          std::to_string(attempt_) + ")",
       rank_, now());
 }
 
@@ -214,6 +238,19 @@ void Injector::at_phase(const char* phase) {
                    : phase);
     }
   }
+  for (std::size_t i = 0; i < plan_->node_crashes.size(); ++i) {
+    const NodeCrash& c = plan_->node_crashes[i];
+    if (node_crash_fired_[i] || c.attempt != attempt_ ||
+        rank_ / ranks_per_node_ != c.node) {
+      continue;
+    }
+    if (trigger_matches(c.trigger, phase)) {
+      node_crash_fired_[i] = true;
+      node_down(c, c.trigger.is_time()
+                       ? ("t>=" + std::to_string(c.trigger.at_time)).c_str()
+                       : phase);
+    }
+  }
 }
 
 double Injector::on_pfs(std::uint64_t bytes) {
@@ -226,6 +263,15 @@ double Injector::on_pfs(std::uint64_t bytes) {
         c.trigger.is_time() && trigger_matches(c.trigger, nullptr)) {
       crash_fired_[i] = true;
       crash(c, "pfs operation");
+    }
+  }
+  for (std::size_t i = 0; i < plan_->node_crashes.size(); ++i) {
+    const NodeCrash& c = plan_->node_crashes[i];
+    if (!node_crash_fired_[i] && c.attempt == attempt_ &&
+        rank_ / ranks_per_node_ == c.node && c.trigger.is_time() &&
+        trigger_matches(c.trigger, nullptr)) {
+      node_crash_fired_[i] = true;
+      node_down(c, "pfs operation");
     }
   }
   if (plan_->pfs_error_rate > 0.0 &&

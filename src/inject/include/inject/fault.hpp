@@ -34,6 +34,7 @@
 //
 //   spec      := clause (',' clause)*
 //   clause    := 'rank_crash:' rank '@' trigger ['#' attempt]
+//              | 'node_crash:' node '@' trigger ['#' attempt]
 //              | 'mem_spike:' size '@' trigger
 //              | 'pfs_error:' probability
 //              | 'pfs_slow:'  factor
@@ -45,6 +46,12 @@
 // reduce, partial_reduce, checkpoint_save, checkpoint_load. Crash and
 // spike clauses fire on attempt 1 unless '#N' says otherwise, so a
 // retried job is not killed again by the same clause.
+//
+// node_crash models a whole-node failure domain: every rank in the
+// ranks_per_node group of simulated node N dies at the trigger (the
+// first one to reach it aborts the job, which unwinds the rest — the
+// unit-abort semantics real node loss has). Requires set_topology();
+// without it each injector assumes one rank per node.
 #pragma once
 
 #include <cstdint>
@@ -79,6 +86,14 @@ struct CrashFault {
   int attempt = 1;
 };
 
+/// Kill every rank of one simulated node at a trigger point (on one
+/// attempt). Which ranks belong to the node comes from set_topology().
+struct NodeCrash {
+  int node = -1;
+  Trigger trigger;
+  int attempt = 1;
+};
+
 /// Charge a temporary allocation on every rank at a trigger point.
 struct MemSpike {
   std::uint64_t bytes = 0;
@@ -92,11 +107,12 @@ struct FaultPlan {
   double pfs_error_rate = 0.0;  ///< probability per PFS operation
   double pfs_slowdown = 1.0;    ///< cost multiplier for surviving ops
   std::vector<CrashFault> crashes;
+  std::vector<NodeCrash> node_crashes;
   std::vector<MemSpike> spikes;
 
   bool empty() const noexcept {
     return pfs_error_rate == 0.0 && pfs_slowdown == 1.0 &&
-           crashes.empty() && spikes.empty();
+           crashes.empty() && node_crashes.empty() && spikes.empty();
   }
 
   /// Parse the spec grammar above; throws mutil::ConfigError.
@@ -128,6 +144,10 @@ class Injector {
   /// skip spikes.
   void bind(simtime::Clock* clock, memtrack::Tracker* tracker);
 
+  /// Declare the machine's rank-to-node mapping so node_crash clauses
+  /// know which node this rank lives on. Default: one rank per node.
+  void set_topology(int ranks_per_node);
+
   /// Phase-entry hook. May throw mutil::RankFailedError (crash) or
   /// mutil::OutOfMemoryError (spike against a node budget).
   void at_phase(const char* phase);
@@ -145,6 +165,7 @@ class Injector {
   /// `phase` is null at PFS hook points (only time triggers can fire).
   bool trigger_matches(const Trigger& trigger, const char* phase) const;
   [[noreturn]] void crash(const CrashFault& fault, const char* where);
+  [[noreturn]] void node_down(const NodeCrash& fault, const char* where);
   void spike(const MemSpike& spike);
 
   const FaultPlan* plan_;
@@ -152,8 +173,10 @@ class Injector {
   int attempt_;
   simtime::Clock* clock_ = nullptr;
   memtrack::Tracker* tracker_ = nullptr;
+  int ranks_per_node_ = 1;
   mutil::Xoshiro256 rng_;
   std::vector<bool> crash_fired_;
+  std::vector<bool> node_crash_fired_;
   std::vector<bool> spike_fired_;
   InjectStats stats_;
 };

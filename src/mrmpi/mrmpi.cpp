@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "inject/fault.hpp"
 #include "mutil/hash.hpp"
 #include "stats/registry.hpp"
 
@@ -73,6 +74,7 @@ std::uint64_t MapReduce::run_map(
     const std::function<void(mimir::Emitter&)>& producer) {
   ++generation_;
   const stats::PhaseScope phase("map");
+  inject::phase_point("map");
   PagedData out(ctx_, store_name("map"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   producer(emitter);
@@ -153,6 +155,7 @@ std::uint64_t MapReduce::aggregate() {
   }
   ++generation_;
   const stats::PhaseScope phase("aggregate");
+  inject::phase_point("aggregate");
   const auto p = static_cast<std::uint64_t>(ctx_.size());
   const std::uint64_t page = cfg_.page_size;
 
@@ -378,6 +381,7 @@ std::uint64_t MapReduce::convert() {
   }
   ++generation_;
   const stats::PhaseScope phase("convert");
+  inject::phase_point("convert");
   PagedData out(ctx_, store_name("kmv"), cfg_.page_size, cfg_.out_of_core);
   std::uint64_t unique = 0;
   std::vector<std::byte> record;
@@ -468,6 +472,7 @@ std::uint64_t MapReduce::reduce(const mimir::ReduceFn& fn) {
   }
   ++generation_;
   const stats::PhaseScope phase("reduce");
+  inject::phase_point("reduce");
   PagedData out(ctx_, store_name("red"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   const double rate = ctx_.machine.reduce_rate;

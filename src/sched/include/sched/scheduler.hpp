@@ -1,0 +1,75 @@
+// Graph execution and graph-level recovery.
+//
+// run_graph executes a planned sched::Graph inside one simmpi::run:
+// every rank walks the plan's waves; a wave with several groups splits
+// the world communicator so independent DAG branches run concurrently,
+// each group running its nodes in topological order. Intermediate
+// outputs are handed producer-to-consumer in memory with refcounted
+// ownership (see graph.hpp).
+//
+// run_graph_with_recovery lifts run_with_recovery (core/recovery.hpp)
+// to the graph: every completed node's output is checkpointed to the
+// PFS under "<prefix>-n<id>", so a retry resumes each completed node by
+// reloading its container — completed ancestors are never re-executed,
+// only their consume hooks replay to rebuild rank-local state. The
+// retry loop classifies failures exactly like the single-job path:
+// rank/node crashes and transient PFS errors back off and retry,
+// OutOfMemoryError walks the degradation ladder (halving the live-bytes
+// budget graph-wide), UsageError/ConfigError are rethrown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mimir/recovery.hpp"
+#include "sched/graph.hpp"
+
+namespace stats {
+class Collector;
+}
+namespace check {
+class JobChecker;
+}
+
+namespace sched {
+
+/// Result of a graph run (successful attempt).
+struct GraphOutcome {
+  simmpi::JobStats stats;  ///< whole-graph stats (one simmpi::run)
+  Plan plan;               ///< the schedule that was executed
+  int attempts = 1;
+  bool resumed = false;          ///< some attempt reloaded checkpoints
+  std::uint64_t resumed_nodes = 0;  ///< nodes restored instead of re-run
+  bool degraded = false;         ///< OOM degradation ladder engaged
+  std::uint64_t degraded_live_bytes = 0;
+  double total_backoff = 0.0;
+  std::vector<mimir::AttemptRecord> history;
+
+  int jobs() const noexcept {
+    return static_cast<int>(plan.live_bytes.size());
+  }
+  int waves() const noexcept { return static_cast<int>(plan.waves.size()); }
+  int admitted() const noexcept { return jobs() - plan.queued_nodes; }
+};
+
+/// Plan and execute `graph` on `nranks` ranks. Throws the first rank
+/// failure like simmpi::run (no retry).
+GraphOutcome run_graph(int nranks, const simtime::MachineProfile& machine,
+                       pfs::FileSystem& fs, const Graph& graph,
+                       const GraphOptions& options = {},
+                       stats::Collector* collector = nullptr,
+                       check::JobChecker* checker = nullptr);
+
+/// Execute `graph` under the recovery policy: per-node checkpoints are
+/// forced on (prefix = policy.checkpoint) and each retry resumes every
+/// node whose checkpoint committed. `fault_plan` injects failures per
+/// rank (inject/fault.hpp) with node topology bound from `machine`.
+GraphOutcome run_graph_with_recovery(
+    int nranks, const simtime::MachineProfile& machine,
+    pfs::FileSystem& fs, const Graph& graph, const GraphOptions& options,
+    const mimir::RecoveryPolicy& policy = {},
+    const inject::FaultPlan* fault_plan = nullptr,
+    stats::Collector* collector = nullptr,
+    check::JobChecker* checker = nullptr);
+
+}  // namespace sched

@@ -1,0 +1,431 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "check/checker.hpp"
+#include "mimir/checkpoint.hpp"
+#include "mutil/error.hpp"
+#include "stats/registry.hpp"
+
+namespace sched {
+
+namespace {
+
+/// Per-run knobs shared by every rank thread (read-only during the run,
+/// except the atomic resume flags).
+struct ExecControl {
+  bool checkpoint = false;
+  std::string prefix;
+  bool keep_checkpoints = false;
+  int attempt = 1;
+  /// Graph-wide ooc_live_bytes cap from the OOM degradation ladder
+  /// (0 = not engaged). Composes with per-node planner overrides.
+  std::uint64_t degraded_live = 0;
+  const inject::FaultPlan* fault_plan = nullptr;
+  double start_offset = 0.0;
+  double total_backoff = 0.0;
+  /// Set per node id when a rank restores it from its checkpoint.
+  std::vector<std::atomic<bool>>* resumed_flags = nullptr;
+};
+
+std::string node_checkpoint(const std::string& prefix, int id) {
+  return prefix + "-n" + std::to_string(id);
+}
+
+/// Execute one group's run of nodes on its (possibly split) context.
+void run_group(simmpi::Context& exec, simmpi::Context& world,
+               const Graph& graph, const Plan& plan,
+               const GroupPlan& group, const ExecControl& ctl,
+               void* state) {
+  // Producer outputs still owed to consumers, with remaining reader
+  // counts — the refcounted handoff. All nodes of a weakly-connected
+  // component run in the same group, so no container crosses groups.
+  std::map<int, mimir::KVContainer> outputs;
+  std::map<int, int> readers_left;
+
+  for (const int id : group.nodes) {
+    const JobNode& node = graph.node(id);
+    const std::string span = "sched:" + node.name;
+    const stats::PhaseScope phase(span);
+    NodeCtx nctx{exec, id, world.rank(), world.size(), state};
+
+    mimir::JobConfig cfg = node.config;
+    if (plan.live_bytes[static_cast<std::size_t>(id)] != 0) {
+      cfg.ooc_live_bytes = plan.live_bytes[static_cast<std::size_t>(id)];
+    }
+    if (ctl.degraded_live != 0) {
+      cfg.ooc_live_bytes =
+          cfg.ooc_live_bytes == 0
+              ? ctl.degraded_live
+              : std::min(cfg.ooc_live_bytes, ctl.degraded_live);
+    }
+
+    const std::string ckpt = node_checkpoint(ctl.prefix, id);
+    const std::vector<int>& ins = graph.inputs(id);
+    bool skipped = false;
+    std::optional<mimir::KVContainer> out;
+
+    if (ctl.checkpoint && ctl.attempt > 1 &&
+        mimir::checkpoint_exists(exec, ckpt)) {
+      // Completed ancestor: restore its output instead of re-running.
+      // The load itself is skipped when nobody reads the output (no
+      // consume hook, no data consumers).
+      (*ctl.resumed_flags)[static_cast<std::size_t>(id)].store(
+          true, std::memory_order_relaxed);
+      nctx.resumed = true;
+      if (node.consume || graph.data_consumers(id) > 0) {
+        out.emplace(mimir::load_container(exec, ckpt, cfg.page_size));
+      }
+    } else if (node.skip && node.skip(nctx)) {
+      skipped = true;
+      out.emplace(exec.tracker, cfg.page_size,
+                  cfg.output_hint.value_or(cfg.hint));
+    } else {
+      mimir::Job job(exec, cfg);
+      const auto feed = [&](std::string_view key, std::string_view value,
+                            mimir::Emitter& emitter) {
+        if (node.kv_map) {
+          node.kv_map(nctx, key, value, emitter);
+        } else {
+          emitter.emit(key, value);
+        }
+      };
+      // A single data input whose last reader we are streams through
+      // map_kvs by move — the exact code path (costs, metrics, page
+      // frees) of the manual `job.map_kvs(prev.take_output(), ...)`
+      // idiom this scheduler replaces.
+      if (ins.size() == 1 && !node.producer &&
+          readers_left.at(ins.front()) == 1) {
+        job.map_kvs(std::move(outputs.at(ins.front())),
+                    [&](std::string_view key, std::string_view value,
+                        mimir::Emitter& emitter) {
+                      feed(key, value, emitter);
+                    },
+                    node.combiner);
+      } else {
+        job.map_custom(
+            [&](mimir::Emitter& emitter) {
+              const double rate = exec.machine.map_rate;
+              for (const int in : ins) {
+                mimir::KVContainer& src = outputs.at(in);
+                const auto visit = [&](const mimir::KVView& kv) {
+                  exec.clock().advance(
+                      static_cast<double>(kv.key.size() + kv.value.size()) /
+                      rate);
+                  feed(kv.key, kv.value, emitter);
+                };
+                if (readers_left.at(in) == 1) {
+                  src.consume(visit);  // last reader frees as it reads
+                } else {
+                  src.scan(visit);
+                }
+              }
+              if (node.producer) node.producer(nctx, emitter);
+            },
+            node.combiner);
+      }
+      if (node.reduce) {
+        job.reduce(node.reduce);
+        out.emplace(job.take_output());
+      } else if (node.partial) {
+        job.partial_reduce(node.partial);
+        out.emplace(job.take_output());
+      } else {
+        out.emplace(job.take_intermediate());
+      }
+      if (ctl.checkpoint) {
+        mimir::save_container(exec, *out, ckpt);
+      }
+    }
+
+    // Release input refcounts: the last consumer's decrement frees the
+    // producer's container (it was already drained if we streamed it).
+    for (const int in : ins) {
+      if (--readers_left.at(in) == 0) {
+        outputs.erase(in);
+        readers_left.erase(in);
+      }
+    }
+
+    if (node.consume && !skipped && out.has_value()) {
+      node.consume(nctx, *out);
+    }
+    if (graph.data_consumers(id) > 0) {
+      readers_left.emplace(id, graph.data_consumers(id));
+      outputs.emplace(id, std::move(*out));
+    }
+    // else: `out` dies here — memory back the moment the last (only)
+    // consumer is done, which for a sink is the node itself.
+  }
+}
+
+/// The rank function for one attempt.
+void run_rank(simmpi::Context& world, const Graph& graph, const Plan& plan,
+              const GraphOptions& options, const ExecControl& ctl) {
+  std::optional<inject::Injector> injector;
+  std::optional<inject::ScopedInject> scope;
+  if (ctl.fault_plan != nullptr && !ctl.fault_plan->empty()) {
+    injector.emplace(*ctl.fault_plan, world.rank(), ctl.attempt);
+    injector->bind(&world.clock(), &world.tracker);
+    injector->set_topology(world.machine.ranks_per_node);
+    scope.emplace(&*injector);
+  }
+  if (ctl.start_offset > 0.0) world.clock().advance(ctl.start_offset);
+
+  std::shared_ptr<void> state;
+  if (options.make_state) state = options.make_state(world);
+
+  for (const WavePlan& wave : plan.waves) {
+    if (wave.groups.size() == 1) {
+      // One branch: run on the world directly — no communicator split,
+      // no synchronization beyond the jobs' own collectives, i.e. the
+      // exact execution shape of the manual sequential loop.
+      run_group(world, world, graph, plan, wave.groups.front(), ctl,
+                state.get());
+      continue;
+    }
+    int color = -1;
+    for (std::size_t g = 0; g < wave.groups.size(); ++g) {
+      if (world.rank() >= wave.groups[g].rank_begin &&
+          world.rank() < wave.groups[g].rank_end) {
+        color = static_cast<int>(g);
+        break;
+      }
+    }
+    {
+      auto sub = world.comm.split(color, world.comm.rank());
+      simmpi::Context exec{*sub, world.tracker, world.fs, world.machine};
+      run_group(exec, world, graph, plan,
+                wave.groups[static_cast<std::size_t>(color)], ctl,
+                state.get());
+    }
+    // Branches finish at different simulated times; the wave boundary
+    // synchronizes the world to the slowest one.
+    world.comm.clock_sync();
+  }
+
+  if (options.epilogue) {
+    NodeCtx ectx{world, -1, world.rank(), world.size(), state.get()};
+    options.epilogue(ectx);
+  }
+
+  if (ctl.checkpoint && !ctl.keep_checkpoints) {
+    // Collective cleanup on the *world*: shards were written with
+    // group-local rank indices (a subset of world ranks), so every
+    // world rank sweeps its own index. Commit markers go first, so a
+    // checkpoint never looks committed while half-deleted.
+    world.comm.barrier();
+    for (int id = 0; id < graph.size(); ++id) {
+      const std::string base =
+          "ckpt/" + node_checkpoint(ctl.prefix, id) + "/";
+      if (world.rank() == 0) world.fs.remove(base + "commit");
+    }
+    world.comm.barrier();
+    for (int id = 0; id < graph.size(); ++id) {
+      const std::string base =
+          "ckpt/" + node_checkpoint(ctl.prefix, id) + "/";
+      const std::string shard =
+          base + "shard" + std::to_string(world.rank());
+      if (world.fs.exists(shard)) world.fs.remove(shard);
+    }
+    world.comm.barrier();
+  }
+
+  if (stats::Registry* reg = stats::current()) {
+    std::uint64_t my_resumed = 0;
+    for (const auto& flag : *ctl.resumed_flags) {
+      if (flag.load(std::memory_order_relaxed)) ++my_resumed;
+    }
+    reg->add("sched.jobs", static_cast<std::uint64_t>(graph.size()));
+    reg->add("sched.admitted",
+             static_cast<std::uint64_t>(graph.size() - plan.queued_nodes));
+    reg->add("sched.queued",
+             static_cast<std::uint64_t>(plan.queued_nodes));
+    reg->add("sched.degraded",
+             static_cast<std::uint64_t>(plan.degraded_nodes));
+    reg->add("sched.waves",
+             static_cast<std::uint64_t>(plan.waves.size()));
+    reg->add("sched.attempts", static_cast<std::uint64_t>(ctl.attempt));
+    reg->add("sched.resumed_nodes", my_resumed);
+    reg->add_seconds("sched.backoff_seconds", ctl.total_backoff);
+  }
+}
+
+std::uint64_t count_resumed(const std::vector<std::atomic<bool>>& flags) {
+  std::uint64_t n = 0;
+  for (const auto& flag : flags) {
+    if (flag.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+GraphOutcome run_graph(int nranks, const simtime::MachineProfile& machine,
+                       pfs::FileSystem& fs, const Graph& graph,
+                       const GraphOptions& options,
+                       stats::Collector* collector,
+                       check::JobChecker* checker) {
+  GraphOutcome out;
+  out.plan = plan_graph(graph, nranks, machine, options);
+
+  ExecControl ctl;
+  ctl.checkpoint = options.checkpoint;
+  ctl.prefix = options.checkpoint_prefix;
+  ctl.keep_checkpoints = options.keep_checkpoints;
+  std::vector<std::atomic<bool>> resumed_flags(
+      static_cast<std::size_t>(graph.size()));
+  ctl.resumed_flags = &resumed_flags;
+
+  out.stats = simmpi::run(
+      nranks, machine, fs,
+      [&](simmpi::Context& ctx) {
+        run_rank(ctx, graph, out.plan, options, ctl);
+      },
+      collector, checker);
+  out.resumed_nodes = count_resumed(resumed_flags);
+  return out;
+}
+
+GraphOutcome run_graph_with_recovery(
+    int nranks, const simtime::MachineProfile& machine,
+    pfs::FileSystem& fs, const Graph& graph, const GraphOptions& options,
+    const mimir::RecoveryPolicy& policy,
+    const inject::FaultPlan* fault_plan, stats::Collector* collector,
+    check::JobChecker* checker) {
+  GraphOutcome out;
+  out.plan = plan_graph(graph, nranks, machine, options);
+
+  // The degradation ladder bottoms out when halving again would drop
+  // some node's live budget below its page size.
+  std::uint64_t max_page = 0;
+  for (int id = 0; id < graph.size(); ++id) {
+    max_page = std::max(max_page, graph.node(id).config.page_size);
+  }
+
+  const auto diag = [&](check::Severity severity, std::string code,
+                        std::string message, int failed_rank,
+                        double failed_time) {
+    if (checker == nullptr) return;
+    check::Diagnostic d;
+    d.severity = severity;
+    d.analyzer = "sched";
+    d.code = std::move(code);
+    d.message = std::move(message);
+    if (failed_rank >= 0) d.ranks = {failed_rank};
+    d.sim_time = failed_time;
+    checker->report().add(std::move(d));
+  };
+
+  ExecControl ctl;
+  ctl.checkpoint = true;
+  ctl.prefix = policy.checkpoint;
+  ctl.keep_checkpoints = policy.keep_checkpoint;
+  ctl.fault_plan = fault_plan;
+
+  bool resumed_any = false;
+  for (int attempt = 1;; ++attempt) {
+    mimir::AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.live_budget = ctl.degraded_live;
+    ctl.attempt = attempt;
+
+    std::vector<std::atomic<bool>> resumed_flags(
+        static_cast<std::size_t>(graph.size()));
+    ctl.resumed_flags = &resumed_flags;
+
+    std::exception_ptr failure;
+    bool oom = false;
+    try {
+      out.stats = simmpi::run(
+          nranks, machine, fs,
+          [&](simmpi::Context& ctx) {
+            run_rank(ctx, graph, out.plan, options, ctl);
+          },
+          collector, checker);
+      rec.ok = true;
+      out.history.push_back(rec);
+      out.attempts = attempt;
+      out.resumed_nodes = count_resumed(resumed_flags);
+      out.resumed = resumed_any || out.resumed_nodes != 0;
+      out.total_backoff = ctl.total_backoff;
+      out.degraded = out.degraded || ctl.degraded_live != 0;
+      out.degraded_live_bytes = ctl.degraded_live;
+      return out;
+    } catch (const mutil::UsageError&) {
+      throw;  // caller bug, not a fault — never retried
+    } catch (const mutil::ConfigError&) {
+      throw;
+    } catch (const mutil::OutOfMemoryError& e) {
+      failure = std::current_exception();
+      rec.error = e.what();
+      oom = true;
+    } catch (const mutil::RankFailedError& e) {
+      failure = std::current_exception();
+      rec.error = e.what();
+      rec.failed_rank = e.rank();
+      rec.failed_time = e.sim_time();
+    } catch (const mutil::TransientIoError& e) {
+      failure = std::current_exception();
+      rec.error = e.what();
+      rec.failed_time = e.sim_time();
+    }
+    resumed_any = resumed_any || count_resumed(resumed_flags) != 0;
+
+    if (oom) {
+      // Graph-wide graceful degradation, mirroring run_with_recovery:
+      // restart with out-of-core spill capped at half the previous live
+      // budget (starting from the per-rank share of node memory).
+      std::uint64_t base = ctl.degraded_live;
+      if (base == 0 && machine.node_memory != 0) {
+        base = machine.node_memory /
+               static_cast<std::uint64_t>(
+                   std::max(1, machine.ranks_per_node));
+      }
+      const std::uint64_t next = base / 2;
+      if (!policy.degrade_on_oom || next < max_page) {
+        out.history.push_back(rec);
+        std::rethrow_exception(failure);
+      }
+      ctl.degraded_live = next;
+      out.degraded = true;
+      out.degraded_live_bytes = next;
+      diag(check::Severity::kWarning, "oom-degraded",
+           "graph attempt " + std::to_string(attempt) +
+               " ran out of memory; retrying with ooc_live_bytes=" +
+               std::to_string(next),
+           -1, rec.failed_time);
+    }
+
+    if (attempt >= policy.max_attempts) {
+      out.history.push_back(rec);
+      out.attempts = attempt;
+      diag(check::Severity::kError, "retries-exhausted",
+           "giving up on graph after " + std::to_string(attempt) +
+               " attempts: " + rec.error,
+           rec.failed_rank, rec.failed_time);
+      std::rethrow_exception(failure);
+    }
+
+    const double backoff =
+        policy.backoff_base *
+        std::pow(policy.backoff_factor, static_cast<double>(attempt - 1));
+    rec.backoff = backoff;
+    ctl.total_backoff += backoff;
+    ctl.start_offset = std::max(ctl.start_offset, rec.failed_time) + backoff;
+    out.history.push_back(rec);
+    diag(check::Severity::kWarning, "attempt-failed",
+         "graph attempt " + std::to_string(attempt) + " failed (" +
+             rec.error + "); retrying after " + std::to_string(backoff) +
+             "s simulated backoff",
+         rec.failed_rank, rec.failed_time);
+  }
+}
+
+}  // namespace sched

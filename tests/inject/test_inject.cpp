@@ -54,7 +54,18 @@ TEST(FaultPlan, EmptySpecAndConfigRoundTrip) {
   EXPECT_DOUBLE_EQ(plan->pfs_error_rate, 0.5);
 }
 
+TEST(FaultPlan, ParsesNodeCrashClause) {
+  const FaultPlan plan = FaultPlan::parse("node_crash:1@reduce#2");
+  ASSERT_EQ(plan.node_crashes.size(), 1u);
+  EXPECT_EQ(plan.node_crashes[0].node, 1);
+  EXPECT_EQ(plan.node_crashes[0].trigger.phase, "reduce");
+  EXPECT_EQ(plan.node_crashes[0].attempt, 2);
+  EXPECT_FALSE(plan.empty());
+}
+
 TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("node_crash:-1@map"), mutil::ConfigError);
+  EXPECT_THROW(FaultPlan::parse("node_crash:1"), mutil::ConfigError);
   EXPECT_THROW(FaultPlan::parse("bogus:1@map"), mutil::ConfigError);
   EXPECT_THROW(FaultPlan::parse("rank_crash"), mutil::ConfigError);
   EXPECT_THROW(FaultPlan::parse("rank_crash:1"), mutil::ConfigError);
@@ -86,6 +97,36 @@ TEST(Injector, CrashFiresOnMatchingRankPhaseAndAttempt) {
   } catch (const mutil::RankFailedError& e) {
     EXPECT_EQ(e.rank(), 1);
   }
+}
+
+TEST(Injector, NodeCrashKillsEveryRankOfTheNodeGroup) {
+  const FaultPlan plan = FaultPlan::parse("node_crash:1@reduce");
+  // With two ranks per node, node 1 hosts world ranks 2 and 3.
+  for (const int rank : {2, 3}) {
+    Injector victim(plan, rank);
+    victim.set_topology(2);
+    try {
+      victim.at_phase("reduce");
+      FAIL() << "expected RankFailedError on rank " << rank;
+    } catch (const mutil::RankFailedError& e) {
+      EXPECT_EQ(e.rank(), rank);
+    }
+  }
+  Injector survivor(plan, 1);  // node 0 under the same topology
+  survivor.set_topology(2);
+  survivor.at_phase("reduce");  // no-op
+
+  // Default topology is one rank per node: rank 1 IS node 1.
+  Injector single(plan, 1);
+  try {
+    single.at_phase("reduce");
+    FAIL() << "expected RankFailedError";
+  } catch (const mutil::RankFailedError& e) {
+    EXPECT_EQ(e.rank(), 1);
+  }
+
+  Injector bad(plan, 0);
+  EXPECT_THROW(bad.set_topology(0), mutil::UsageError);
 }
 
 TEST(Injector, TimeTriggerFiresOncePastDeadline) {

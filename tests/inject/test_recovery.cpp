@@ -149,6 +149,38 @@ TEST(Recovery, RankCrashDuringReduceResumesFromCheckpoint) {
   EXPECT_EQ(sink.merged(), expected.merged());
 }
 
+TEST(Recovery, NodeCrashLosesWholeNodeAndResumesFromCheckpoint) {
+  // Two simulated nodes of two ranks each; losing node 0 kills ranks 0
+  // and 1 at once. The map checkpoint is striped across all four ranks,
+  // so the resume proves checkpoint placement survives losing every
+  // shard a whole node wrote.
+  constexpr int kNodes = 2, kRpn = 2, kWorld = kNodes * kRpn;
+  auto machine = profile_with_io();
+  machine.ranks_per_node = kRpn;
+  const FaultPlan plan = FaultPlan::parse("node_crash:0@reduce");
+
+  OutputSink expected;
+  {
+    pfs::FileSystem fs(machine, kWorld);
+    (void)mimir::run_with_recovery(kWorld, machine, fs,
+                                   make_job(expected, {}, false, false));
+  }
+
+  pfs::FileSystem fs(machine, kWorld);
+  OutputSink sink;
+  const RecoveryOutcome out = mimir::run_with_recovery(
+      kWorld, machine, fs, make_job(sink, {}, false, false), {}, &plan);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_TRUE(out.resumed);
+  ASSERT_EQ(out.history.size(), 2u);
+  EXPECT_FALSE(out.history[0].ok);
+  const int failed = out.history[0].failed_rank;
+  EXPECT_TRUE(failed == 0 || failed == 1)
+      << "node 0 hosts ranks 0 and 1, got " << failed;
+  EXPECT_TRUE(out.history[1].ok);
+  EXPECT_EQ(sink.merged(), expected.merged());
+}
+
 TEST(Recovery, FixedPlanYieldsIdenticalRunsTwice) {
   const auto machine = profile_with_io();
   const FaultPlan plan =
