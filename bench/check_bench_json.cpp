@@ -10,6 +10,8 @@
 // cells captured from the printed table. The TRACE document, when
 // given, must parse as a Chrome trace-event object with consistent
 // duration events. Exits non-zero with a message on the first failure.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -73,9 +75,122 @@ const std::string* table_cell(
   return nullptr;
 }
 
+/// Wait/compute attribution, memory breakdown, and critical-path
+/// sections of one point's stats block (schema 2).
+void check_profile(const std::string& where, const Value& point,
+                   const Value& stats) {
+  const std::size_t nranks = stats.at("traffic").at("matrix").array.size();
+  const double sim_time = point.at("sim_time").number;
+
+  // Per-phase attribution: per-rank arrays sized to the rank count;
+  // every rank's compute + wait is bounded by the phase envelope, so
+  // the cross-rank maxima are too.
+  for (const auto& [name, phase] : stats.at("phases").object) {
+    const Value* wait = phase.find("wait_seconds");
+    if (wait == nullptr) continue;  // pre-attribution phase entry
+    const double seconds = phase.at("seconds").number;
+    const double eps = 1e-6 * std::max(1.0, seconds);
+    const double compute = phase.at("compute_seconds").number;
+    if (wait->number < 0.0 || wait->number > seconds + eps) {
+      fail(where + ": phase " + name + " wait_seconds " +
+           std::to_string(wait->number) + " outside [0, seconds]");
+    }
+    if (compute < 0.0 || compute > seconds + eps) {
+      fail(where + ": phase " + name + " compute_seconds " +
+           std::to_string(compute) + " outside [0, seconds]");
+    }
+    if (phase.at("imbalance").number <= 0.0) {
+      fail(where + ": phase " + name + " non-positive imbalance");
+    }
+    const double straggler = phase.at("straggler").number;
+    if (straggler < -1 || straggler >= static_cast<double>(nranks)) {
+      fail(where + ": phase " + name + " straggler rank " +
+           std::to_string(static_cast<int>(straggler)) + " out of range");
+    }
+    for (const char* key : {"per_rank_compute", "per_rank_wait"}) {
+      if (phase.at(key).array.size() != nranks) {
+        fail(where + ": phase " + name + " " + key + " has " +
+             std::to_string(phase.at(key).array.size()) + " entries for " +
+             std::to_string(nranks) + " ranks");
+      }
+    }
+  }
+
+  // Whole-run wait: the total is the sum of the per-rank totals.
+  const Value& wait = stats.at("wait");
+  if (wait.at("per_rank").array.size() != nranks) {
+    fail(where + ": wait.per_rank has " +
+         std::to_string(wait.at("per_rank").array.size()) +
+         " entries for " + std::to_string(nranks) + " ranks");
+  }
+  double wait_sum = 0.0;
+  for (const Value& w : wait.at("per_rank").array) wait_sum += w.number;
+  const double wait_total = wait.at("total_seconds").number;
+  if (std::abs(wait_sum - wait_total) > 1e-6 * std::max(1.0, wait_total)) {
+    fail(where + ": wait.per_rank sums to " + std::to_string(wait_sum) +
+         " != total_seconds " + std::to_string(wait_total));
+  }
+
+  // Tagged memory must reconcile with the untagged accounting: the
+  // component currents partition current_total, and no component peak
+  // can exceed the cross-rank peak.
+  const Value& memory = stats.at("memory");
+  const std::uint64_t current_total = memory.at("current_total").as_u64();
+  const std::uint64_t peak_max = memory.at("peak_max").as_u64();
+  std::uint64_t component_current = 0;
+  for (const auto& [tag, component] : memory.at("components").object) {
+    component_current += component.at("current").as_u64();
+    if (component.at("peak").as_u64() > peak_max) {
+      fail(where + ": memory component " + tag + " peak " +
+           std::to_string(component.at("peak").as_u64()) +
+           " exceeds peak_max " + std::to_string(peak_max));
+    }
+  }
+  if (component_current != current_total) {
+    fail(where + ": memory components sum to " +
+         std::to_string(component_current) + " != current_total " +
+         std::to_string(current_total));
+  }
+
+  // Scheduler runs that completed must carry their critical path:
+  // non-empty, chronologically ordered, ending within the run.
+  const bool sched = stats.at("counters").find("sched.jobs") != nullptr;
+  const bool runnable = point.at("status").str == "ok" ||
+                        point.at("status").str == "spill";
+  if (sched && runnable) {
+    const Value* critical = stats.find("critical_path");
+    if (critical == nullptr || critical->at("steps").array.empty()) {
+      fail(where + ": sched point without a critical_path");
+    }
+    const double eps = 1e-6 * std::max(1.0, sim_time);
+    double previous_end = 0.0;
+    for (const Value& step : critical->at("steps").array) {
+      const double end = step.at("end").number;
+      if (end + eps < previous_end) {
+        fail(where + ": critical_path step " + step.at("name").str +
+             " ends before its predecessor");
+      }
+      if (step.at("seconds").number < -eps) {
+        fail(where + ": critical_path step " + step.at("name").str +
+             " has negative duration");
+      }
+      previous_end = end;
+    }
+    if (critical->at("total_seconds").number > sim_time + eps) {
+      fail(where + ": critical_path total " +
+           std::to_string(critical->at("total_seconds").number) +
+           " exceeds sim_time " + std::to_string(sim_time));
+    }
+  }
+}
+
 void check_bench(const Value& doc) {
   if (!doc.is_object()) fail("BENCH document is not an object");
   if (doc.at("figure").str.empty()) fail("empty figure id");
+  if (doc.at("schema").as_u64() != 2) {
+    fail("schema " + std::to_string(doc.at("schema").as_u64()) +
+         " (this checker validates schema 2)");
+  }
   const Value& points = doc.at("points");
   if (!points.is_array() || points.array.empty()) {
     fail("no points recorded");
@@ -141,6 +256,8 @@ void check_bench(const Value& doc) {
       }
     }
 
+    check_profile(where, point, stats);
+
     // Sweep points (app/x/series all set) must match the printed table.
     if (point.at("x").str.empty() || point.at("series").str.empty()) {
       continue;
@@ -183,6 +300,10 @@ void check_trace(const Value& doc) {
         fail("duration event with negative ts/dur");
       }
       ++durations;
+    } else if (ph == "C") {
+      if (event.at("ts").number < 0) {
+        fail("counter event with negative ts");
+      }
     } else if (ph != "i" && ph != "M") {
       fail("unexpected event phase '" + ph + "'");
     }

@@ -78,6 +78,60 @@ Outcome run_config(int nranks, const simtime::MachineProfile& machine,
   return outcome;
 }
 
+Outcome run_repeated(int nranks, const simtime::MachineProfile& machine,
+                     pfs::FileSystem& fs, int reps, const RepeatFn& fn,
+                     const RunLabel& label) {
+  Outcome outcome;
+  Report* report = Report::active();
+  std::unique_ptr<stats::Collector> collector;
+  if (report != nullptr) collector = std::make_unique<stats::Collector>();
+  std::atomic<bool> spilled{false};
+  // Simulated start time of the measured (last) repetition; every rank
+  // reaches it through the same barrier, so rank 0's value is the
+  // job-wide one.
+  std::atomic<double> measured_start{0.0};
+  try {
+    const auto stats = simmpi::run(
+        nranks, machine, fs,
+        [&](simmpi::Context& ctx) {
+          for (int rep = 0; rep < reps; ++rep) {
+            if (rep == reps - 1 && reps > 1) {
+              ctx.comm.barrier();
+              ctx.tracker.reset_peak();
+              if (ctx.tracker.node() != nullptr &&
+                  ctx.rank() % ctx.machine.ranks_per_node == 0) {
+                ctx.tracker.node()->reset_peak();
+              }
+              ctx.comm.barrier();
+              if (ctx.rank() == 0) {
+                measured_start.store(ctx.clock().now(),
+                                     std::memory_order_relaxed);
+              }
+            }
+            if (fn(ctx, rep)) spilled.store(true, std::memory_order_relaxed);
+          }
+        },
+        collector.get());
+    outcome.time = stats.sim_time - measured_start.load();
+    outcome.peak = stats.node_peak;
+    outcome.shuffled = stats.shuffle_bytes;
+    outcome.status =
+        spilled.load() ? Outcome::Status::kSpilled : Outcome::Status::kOk;
+  } catch (const mutil::OutOfMemoryError& e) {
+    outcome.status = Outcome::Status::kOom;
+    outcome.detail = e.what();
+  } catch (const mutil::Error& e) {
+    outcome.status = Outcome::Status::kError;
+    outcome.detail = e.what();
+  }
+  if (report != nullptr) {
+    outcome.profile =
+        std::make_shared<const stats::Summary>(collector->summary());
+    report->add_run(label, outcome, *collector);
+  }
+  return outcome;
+}
+
 Outcome run_driver(const DriverFn& fn, const RunLabel& label) {
   Outcome outcome;
   Report* report = Report::active();
@@ -141,7 +195,7 @@ void Report::add_table(const std::string& title,
 
 std::string Report::bench_json() const {
   using stats::jsonlite::escape;
-  std::string out = "{\"figure\":\"" + escape(figure_) + "\",\"schema\":1";
+  std::string out = "{\"figure\":\"" + escape(figure_) + "\",\"schema\":2";
   out += ",\"points\":[";
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const Point& p = points_[i];

@@ -69,6 +69,19 @@ Outcome run_config(int nranks, const simtime::MachineProfile& machine,
                    pfs::FileSystem& fs, const BenchFn& fn,
                    const RunLabel& label = {});
 
+/// Body of one repetition; `rep` counts from 0. Return true on spill.
+using RepeatFn = std::function<bool(simmpi::Context&, int rep)>;
+
+/// Run `fn` `reps` times inside ONE simmpi::run, resetting every
+/// peak-memory high-water mark (rank trackers and node budgets) between
+/// the warm-up repetitions and the last one, so the reported peak and
+/// time measure the final repetition alone. With reps == 1 this is
+/// run_config. The reset is bracketed by barriers, so no rank is still
+/// allocating while the marks move.
+Outcome run_repeated(int nranks, const simtime::MachineProfile& machine,
+                     pfs::FileSystem& fs, int reps, const RepeatFn& fn,
+                     const RunLabel& label = {});
+
 /// A driver that owns its own simmpi::run invocation (recovery loops,
 /// sched::run_graph, multi-job pipelines). It receives the profiling
 /// collector (nullptr while reporting is off) to pass through to its

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<figure>.json documents for performance regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [options]
+
+Points are matched by their (app, x, series) sweep coordinates. For every
+matched point the tool compares:
+
+  * sim_time       (relative threshold, --time-pct)
+  * node_peak      (relative threshold, --mem-pct)
+  * shuffle_bytes  (relative threshold, --shuffle-pct)
+  * wait fraction  (absolute threshold, --wait-abs): the run's total
+    collective wait divided by nranks * sim_time, i.e. the mean share of
+    rank time spent blocked in collectives. Only computed when both
+    documents carry the schema-2 "wait" stats section.
+
+A point whose status degrades (ok/spill -> oom/err) is always a
+regression; a baseline point missing from the candidate is too. New
+points in the candidate are reported but never fail the diff.
+
+Exit codes: 0 = no regression, 1 = regression found, 2 = usage error.
+Simulated times and shuffle volume are deterministic, so those compare
+exactly; node peaks of workloads that run rank groups concurrently
+depend on real thread interleaving, which is what the memory threshold
+absorbs.
+"""
+
+import argparse
+import json
+import sys
+
+RUNNABLE = {"ok", "spill"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if "points" not in doc:
+        print(f"bench_diff: {path} has no points array", file=sys.stderr)
+        raise SystemExit(2)
+    return doc
+
+
+def point_key(point):
+    return (point.get("app", ""), point.get("x", ""), point.get("series", ""))
+
+
+def wait_fraction(point):
+    """Mean share of rank time spent waiting, or None when unavailable."""
+    stats = point.get("stats", {})
+    wait = stats.get("wait")
+    if wait is None:
+        return None
+    sim_time = point.get("sim_time", 0.0)
+    nranks = len(wait.get("per_rank", []))
+    if sim_time <= 0.0 or nranks == 0:
+        return None
+    return wait.get("total_seconds", 0.0) / (nranks * sim_time)
+
+
+def rel_change(base, cand):
+    if base == 0:
+        return 0.0 if cand == 0 else float("inf")
+    return (cand - base) / base
+
+
+def fmt_pct(x):
+    if x == float("inf"):
+        return "+inf"
+    return f"{x * 100:+.2f}%"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description="Diff two BENCH_*.json files for regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--time-pct", type=float, default=5.0,
+                        help="allowed sim_time increase, percent (default 5)")
+    parser.add_argument("--mem-pct", type=float, default=5.0,
+                        help="allowed node_peak increase, percent (default 5)")
+    parser.add_argument("--shuffle-pct", type=float, default=5.0,
+                        help="allowed shuffle_bytes increase, percent "
+                             "(default 5)")
+    parser.add_argument("--wait-abs", type=float, default=0.05,
+                        help="allowed wait-fraction increase, absolute "
+                             "(default 0.05)")
+    args = parser.parse_args(argv)
+    for name in ("time_pct", "mem_pct", "shuffle_pct", "wait_abs"):
+        if getattr(args, name) < 0:
+            parser.error(f"--{name.replace('_', '-')} must be >= 0")
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    base_points = {point_key(p): p for p in base_doc["points"]}
+    cand_points = {point_key(p): p for p in cand_doc["points"]}
+
+    rows = []
+    regressions = []
+
+    def note(key, metric, text, regressed):
+        rows.append((" / ".join(k for k in key if k) or "(unlabelled)",
+                     metric, text, regressed))
+        if regressed:
+            regressions.append(f"{' / '.join(k for k in key if k)}: {text}")
+
+    for key, base in base_points.items():
+        cand = cand_points.get(key)
+        if cand is None:
+            note(key, "presence", "point missing from candidate", True)
+            continue
+
+        b_status, c_status = base.get("status"), cand.get("status")
+        if b_status in RUNNABLE and c_status not in RUNNABLE:
+            note(key, "status", f"{b_status} -> {c_status}", True)
+            continue
+        if b_status != c_status:
+            note(key, "status", f"{b_status} -> {c_status}", False)
+        if c_status not in RUNNABLE:
+            continue
+
+        for metric, field, pct in (("sim_time", "sim_time", args.time_pct),
+                                   ("node_peak", "node_peak", args.mem_pct),
+                                   ("shuffle_bytes", "shuffle_bytes",
+                                    args.shuffle_pct)):
+            change = rel_change(base.get(field, 0), cand.get(field, 0))
+            over = change * 100.0 > pct
+            if over or change != 0.0:
+                note(key, metric,
+                     f"{base.get(field, 0)} -> {cand.get(field, 0)} "
+                     f"({fmt_pct(change)}, limit +{pct:g}%)", over)
+
+        b_wait, c_wait = wait_fraction(base), wait_fraction(cand)
+        if b_wait is not None and c_wait is not None:
+            delta = c_wait - b_wait
+            over = delta > args.wait_abs
+            if over or abs(delta) > 1e-12:
+                note(key, "wait_fraction",
+                     f"{b_wait:.4f} -> {c_wait:.4f} "
+                     f"({delta:+.4f}, limit +{args.wait_abs:g})", over)
+
+    for key in cand_points:
+        if key not in base_points:
+            note(key, "presence", "new point (not in baseline)", False)
+
+    if rows:
+        widths = [max(len(r[i]) for r in rows) for i in range(3)]
+        print(f"{'point':<{widths[0]}}  {'metric':<{widths[1]}}  change")
+        print(f"{'-' * widths[0]}  {'-' * widths[1]}  {'-' * widths[2]}")
+        for point, metric, text, regressed in rows:
+            marker = "  <-- REGRESSION" if regressed else ""
+            print(f"{point:<{widths[0]}}  {metric:<{widths[1]}}  "
+                  f"{text}{marker}")
+    matched = sum(1 for k in base_points if k in cand_points)
+    print(f"\n{matched} matched points, {len(regressions)} regressions")
+    if regressions:
+        print("bench_diff: FAIL")
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

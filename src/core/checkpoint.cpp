@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "inject/fault.hpp"
+#include "memtrack/tracker.hpp"
 #include "mutil/error.hpp"
 #include "stats/registry.hpp"
 
@@ -97,6 +98,10 @@ KVContainer load_container(simmpi::Context& ctx, const std::string& name,
                            std::uint64_t page_size) {
   const stats::PhaseScope phase("checkpoint_load");
   inject::phase_point("checkpoint_load");
+  // Pages restored here belong to the checkpoint component unless an
+  // enclosing component (e.g. the scheduler's handoff) claimed them.
+  const memtrack::TagScope tag("checkpoint",
+                               memtrack::TagScope::Mode::kFallback);
   pfs::Reader reader = ctx.fs.open(shard_name(name, ctx.rank()));
   ShardHeader header{};
   std::byte raw[sizeof(header)];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "memtrack/tracker.hpp"
 #include "mutil/hash.hpp"
 
 namespace mimir {
@@ -22,6 +23,7 @@ CombineTable::CombineTable(memtrack::Tracker& tracker,
   if (!combiner_) {
     throw mutil::ConfigError("CombineTable: combiner callback required");
   }
+  const memtrack::TagScope tag("combine_table");
   slots_ = memtrack::TrackedBuffer(*tracker_,
                                    kInitialSlots * sizeof(Entry));
   slot_count_ = kInitialSlots;
@@ -50,6 +52,7 @@ CombineTable::Entry CombineTable::append_record(std::uint64_t hash,
                                                 std::string_view value) {
   const std::size_t bytes = codec_.encoded_size(key, value);
   if (arena_.empty() || arena_.back().room() < bytes) {
+    const memtrack::TagScope tag("combine_table");
     detail::Page page;
     page.buffer = memtrack::TrackedBuffer(
         *tracker_, std::max<std::size_t>(bytes, page_size_));
@@ -68,6 +71,7 @@ CombineTable::Entry CombineTable::append_record(std::uint64_t hash,
 
 void CombineTable::grow() {
   const std::uint64_t new_count = slot_count_ * 2;
+  const memtrack::TagScope tag("combine_table");
   memtrack::TrackedBuffer bigger(*tracker_, new_count * sizeof(Entry));
   auto* fresh = reinterpret_cast<Entry*>(bigger.data());
   std::fill_n(fresh, new_count, Entry{});
@@ -128,6 +132,7 @@ void CombineTable::upsert(std::string_view key, std::string_view value) {
 }
 
 void CombineTable::compact() {
+  const memtrack::TagScope tag("combine_table");
   std::deque<detail::Page> fresh;
   auto* entries = reinterpret_cast<Entry*>(slots_.data());
   for (std::uint64_t i = 0; i < slot_count_; ++i) {

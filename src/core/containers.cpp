@@ -62,6 +62,10 @@ void KVContainer::enable_spill(SpillConfig spill) {
 std::byte* KVContainer::grab(std::size_t bytes) {
   if (pages_.empty() || pages_.back().room() < bytes) {
     maybe_spill();
+    // Generic container pages: attributed to the enclosing component
+    // when one is active (e.g. checkpoint restore), else to "pages".
+    const memtrack::TagScope tag("pages",
+                                 memtrack::TagScope::Mode::kFallback);
     detail::Page page;
     page.buffer = memtrack::TrackedBuffer(
         *tracker_, std::max<std::size_t>(bytes, page_size_));
@@ -211,6 +215,8 @@ KMVContainer::Slot KMVContainer::reserve(std::string_view key,
   }
 
   if (pages_.empty() || pages_.back().room() < bytes) {
+    const memtrack::TagScope tag("pages",
+                                 memtrack::TagScope::Mode::kFallback);
     detail::Page page;
     page.buffer = memtrack::TrackedBuffer(
         *tracker_, std::max<std::size_t>(bytes, page_size_));

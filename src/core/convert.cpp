@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "inject/fault.hpp"
+#include "memtrack/tracker.hpp"
 #include "mutil/hash.hpp"
 #include "stats/registry.hpp"
 
@@ -34,6 +35,7 @@ class ConvertIndex {
   /// which keeps the paper's memory profile).
   ConvertIndex(memtrack::Tracker& tracker, bool copy_keys)
       : tracker_(&tracker), copy_keys_(copy_keys) {
+    const memtrack::TagScope tag("convert");
     slots_ = memtrack::TrackedBuffer(*tracker_, kInitial * sizeof(Entry));
     slot_count_ = kInitial;
     std::fill_n(reinterpret_cast<Entry*>(slots_.data()), slot_count_,
@@ -104,6 +106,7 @@ class ConvertIndex {
   /// Copy a key into the arena and return a stable view of it.
   std::string_view stash(std::string_view key) {
     if (arena_.empty() || arena_used_ + key.size() > arena_.back().size()) {
+      const memtrack::TagScope tag("convert");
       arena_.push_back(memtrack::TrackedBuffer(
           *tracker_,
           std::max<std::size_t>(key.size(), std::size_t{64} << 10)));
@@ -117,6 +120,7 @@ class ConvertIndex {
 
   void grow() {
     const std::uint64_t bigger_count = slot_count_ * 2;
+    const memtrack::TagScope tag("convert");
     memtrack::TrackedBuffer bigger(*tracker_,
                                    bigger_count * sizeof(Entry));
     auto* fresh = reinterpret_cast<Entry*>(bigger.data());

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "inject/fault.hpp"
+#include "memtrack/tracker.hpp"
 #include "mutil/hash.hpp"
 #include "stats/registry.hpp"
 
@@ -14,11 +15,15 @@ Shuffle::Shuffle(simmpi::Context& ctx, std::uint64_t comm_buffer,
       codec_(hint),
       dest_(dest),
       partitioner_(std::move(partitioner)),
-      send_(ctx.tracker, comm_buffer),
-      recv_(ctx.tracker, comm_buffer),
       part_cap_(comm_buffer / static_cast<std::uint64_t>(ctx.size())),
       part_used_(static_cast<std::size_t>(ctx.size()), 0),
       part_displs_(static_cast<std::size_t>(ctx.size()), 0) {
+  // Charge the communication buffers before the capacity check, in the
+  // same order the member initializers used to, so the observable charge
+  // sequence (and any OOM point) is unchanged.
+  const memtrack::TagScope tag("shuffle");
+  send_ = memtrack::TrackedBuffer(ctx.tracker, comm_buffer);
+  recv_ = memtrack::TrackedBuffer(ctx.tracker, comm_buffer);
   if (part_cap_ == 0) {
     throw mutil::ConfigError(
         "Shuffle: communication buffer smaller than one byte per rank");

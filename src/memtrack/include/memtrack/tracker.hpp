@@ -21,11 +21,46 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
 
 namespace memtrack {
+
+/// Component label attached to Tracker traffic on the calling thread
+/// (accounting-only: tags never change what is charged or when, they
+/// only attribute the bytes to a component in the per-tag breakdown).
+/// Untagged traffic lands under "other". The tag must be a string with
+/// static storage duration (a literal): TrackedBuffers remember their
+/// allocation tag by pointer and release under it, however far from the
+/// allocation site they are destroyed.
+class TagScope {
+ public:
+  enum class Mode {
+    kOverride,  ///< replace the active tag for the scope (default)
+    kFallback,  ///< apply only when no tag is active (e.g. generic
+                ///< container pages inherit an enclosing component)
+  };
+
+  explicit TagScope(const char* tag, Mode mode = Mode::kOverride) noexcept;
+  ~TagScope();
+
+  TagScope(const TagScope&) = delete;
+  TagScope& operator=(const TagScope&) = delete;
+
+ private:
+  const char* previous_;
+};
+
+/// The calling thread's active tag, or nullptr when untagged.
+const char* current_tag() noexcept;
+
+/// Per-tag usage entry of one Tracker's breakdown.
+struct TagUsage {
+  std::uint64_t current = 0;
+  std::uint64_t peak = 0;
+};
 
 /// Node-wide memory budget shared by every rank of a simulated node.
 /// Thread-safe; ranks are threads.
@@ -116,15 +151,33 @@ class Tracker {
   Tracker(const Tracker&) = delete;
   Tracker& operator=(const Tracker&) = delete;
 
-  /// Charge this rank (and its node). Throws mutil::OutOfMemoryError.
+  /// Charge this rank (and its node) under the calling thread's active
+  /// tag. Throws mutil::OutOfMemoryError.
   void allocate(std::uint64_t bytes);
 
-  /// Release a previous charge.
+  /// Release a previous charge under the calling thread's active tag.
   void release(std::uint64_t bytes) noexcept;
+
+  /// Charge under an explicit tag (nullptr/empty means "other"). The
+  /// tag only affects the per-tag breakdown, never the charge itself.
+  void allocate_as(std::uint64_t bytes, const char* tag);
+
+  /// Release a charge made under `tag`.
+  void release_as(std::uint64_t bytes, const char* tag) noexcept;
 
   std::uint64_t current() const noexcept { return current_; }
   std::uint64_t peak() const noexcept { return peak_; }
-  void reset_peak() noexcept { peak_ = current_; }
+
+  /// Reset the rank high-water mark and every tag's high-water mark to
+  /// the respective current usage (between bench repetitions).
+  void reset_peak() noexcept;
+
+  /// Per-component attribution of this rank's charges. Invariant: the
+  /// tag currents always sum to current(), and every tag peak is <=
+  /// peak() (attribution is a partition of the untagged accounting).
+  const std::map<std::string, TagUsage, std::less<>>& tags() const noexcept {
+    return tags_;
+  }
 
   NodeBudget* node() const noexcept { return node_; }
 
@@ -132,6 +185,7 @@ class Tracker {
   NodeBudget* node_;
   std::uint64_t current_ = 0;
   std::uint64_t peak_ = 0;
+  std::map<std::string, TagUsage, std::less<>> tags_;
 };
 
 /// RAII byte buffer charged against a Tracker for its whole lifetime.
@@ -163,6 +217,7 @@ class TrackedBuffer {
   Tracker* tracker_ = nullptr;
   std::unique_ptr<std::byte[]> data_;
   std::size_t size_ = 0;
+  const char* tag_ = nullptr;  ///< tag active at construction time
 };
 
 }  // namespace memtrack

@@ -1,5 +1,6 @@
 #include "memtrack/tracker.hpp"
 
+#include <string_view>
 #include <utility>
 
 #include "mutil/error.hpp"
@@ -9,6 +10,13 @@ namespace memtrack {
 
 namespace {
 thread_local AllocObserver* t_observer = nullptr;
+thread_local const char* t_tag = nullptr;
+
+/// Map nullptr/empty tags to the catch-all component.
+std::string_view tag_key(const char* tag) noexcept {
+  return (tag == nullptr || *tag == '\0') ? std::string_view("other")
+                                          : std::string_view(tag);
+}
 }  // namespace
 
 AllocObserver* alloc_observer() noexcept { return t_observer; }
@@ -16,6 +24,14 @@ AllocObserver* alloc_observer() noexcept { return t_observer; }
 void set_alloc_observer(AllocObserver* observer) noexcept {
   t_observer = observer;
 }
+
+TagScope::TagScope(const char* tag, Mode mode) noexcept : previous_(t_tag) {
+  if (mode == Mode::kOverride || t_tag == nullptr) t_tag = tag;
+}
+
+TagScope::~TagScope() { t_tag = previous_; }
+
+const char* current_tag() noexcept { return t_tag; }
 
 void NodeBudget::charge(std::uint64_t bytes) {
   const std::uint64_t now =
@@ -39,22 +55,43 @@ void NodeBudget::release(std::uint64_t bytes) noexcept {
   current_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
-void Tracker::allocate(std::uint64_t bytes) {
+void Tracker::allocate(std::uint64_t bytes) { allocate_as(bytes, t_tag); }
+
+void Tracker::release(std::uint64_t bytes) noexcept {
+  release_as(bytes, t_tag);
+}
+
+void Tracker::allocate_as(std::uint64_t bytes, const char* tag) {
   if (node_ != nullptr) node_->charge(bytes);  // may throw; rank unchanged
   current_ += bytes;
   if (current_ > peak_) peak_ = current_;
+  // Attribute only after the charge succeeded, so failed charges never
+  // show up in the breakdown and the tag currents keep summing to
+  // current().
+  TagUsage& usage = tags_[std::string(tag_key(tag))];
+  usage.current += bytes;
+  if (usage.current > usage.peak) usage.peak = usage.current;
   if (t_observer != nullptr) t_observer->on_charge(bytes);
 }
 
-void Tracker::release(std::uint64_t bytes) noexcept {
+void Tracker::release_as(std::uint64_t bytes, const char* tag) noexcept {
   if (t_observer != nullptr) t_observer->on_release(bytes);
   current_ -= bytes;
   if (node_ != nullptr) node_->release(bytes);
+  // Saturating: a release under a tag that never charged that much (an
+  // allocate/release tag mismatch in the caller) must not wrap.
+  TagUsage& usage = tags_[std::string(tag_key(tag))];
+  usage.current -= bytes > usage.current ? usage.current : bytes;
+}
+
+void Tracker::reset_peak() noexcept {
+  peak_ = current_;
+  for (auto& [tag, usage] : tags_) usage.peak = usage.current;
 }
 
 TrackedBuffer::TrackedBuffer(Tracker& tracker, std::size_t bytes)
-    : tracker_(&tracker), size_(bytes) {
-  tracker.allocate(bytes);  // throws before the allocation happens
+    : tracker_(&tracker), size_(bytes), tag_(t_tag) {
+  tracker.allocate_as(bytes, tag_);  // throws before the allocation happens
   try {
     data_ = std::make_unique<std::byte[]>(bytes);
   } catch (...) {
@@ -69,7 +106,8 @@ TrackedBuffer::~TrackedBuffer() { reset(); }
 TrackedBuffer::TrackedBuffer(TrackedBuffer&& other) noexcept
     : tracker_(std::exchange(other.tracker_, nullptr)),
       data_(std::move(other.data_)),
-      size_(std::exchange(other.size_, 0)) {}
+      size_(std::exchange(other.size_, 0)),
+      tag_(std::exchange(other.tag_, nullptr)) {}
 
 TrackedBuffer& TrackedBuffer::operator=(TrackedBuffer&& other) noexcept {
   if (this != &other) {
@@ -77,6 +115,7 @@ TrackedBuffer& TrackedBuffer::operator=(TrackedBuffer&& other) noexcept {
     tracker_ = std::exchange(other.tracker_, nullptr);
     data_ = std::move(other.data_);
     size_ = std::exchange(other.size_, 0);
+    tag_ = std::exchange(other.tag_, nullptr);
   }
   return *this;
 }
@@ -86,11 +125,14 @@ void TrackedBuffer::reset() noexcept {
     if (t_observer != nullptr) {
       t_observer->on_page_release(data_.get(), size_);
     }
-    tracker_->release(size_);
+    // Release under the allocation-time tag, not whatever tag happens
+    // to be active where the buffer dies.
+    tracker_->release_as(size_, tag_);
   }
   data_.reset();
   tracker_ = nullptr;
   size_ = 0;
+  tag_ = nullptr;
 }
 
 }  // namespace memtrack

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "inject/fault.hpp"
+#include "memtrack/tracker.hpp"
 #include "mutil/hash.hpp"
 #include "stats/registry.hpp"
 
@@ -75,6 +76,7 @@ std::uint64_t MapReduce::run_map(
   ++generation_;
   const stats::PhaseScope phase("map");
   inject::phase_point("map");
+  const memtrack::TagScope tag("mrmpi");
   PagedData out(ctx_, store_name("map"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   producer(emitter);
@@ -156,6 +158,7 @@ std::uint64_t MapReduce::aggregate() {
   ++generation_;
   const stats::PhaseScope phase("aggregate");
   inject::phase_point("aggregate");
+  const memtrack::TagScope tag("mrmpi");
   const auto p = static_cast<std::uint64_t>(ctx_.size());
   const std::uint64_t page = cfg_.page_size;
 
@@ -382,6 +385,7 @@ std::uint64_t MapReduce::convert() {
   ++generation_;
   const stats::PhaseScope phase("convert");
   inject::phase_point("convert");
+  const memtrack::TagScope tag("mrmpi");
   PagedData out(ctx_, store_name("kmv"), cfg_.page_size, cfg_.out_of_core);
   std::uint64_t unique = 0;
   std::vector<std::byte> record;
@@ -441,6 +445,7 @@ std::uint64_t MapReduce::compress(const mimir::CombineFn& combiner) {
   }
   ++generation_;
   const stats::PhaseScope phase("compress");
+  const memtrack::TagScope tag("mrmpi");
   PagedData out(ctx_, store_name("cps"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   std::uint64_t before = kv_->num_records();
@@ -473,6 +478,7 @@ std::uint64_t MapReduce::reduce(const mimir::ReduceFn& fn) {
   ++generation_;
   const stats::PhaseScope phase("reduce");
   inject::phase_point("reduce");
+  const memtrack::TagScope tag("mrmpi");
   PagedData out(ctx_, store_name("red"), cfg_.page_size, cfg_.out_of_core);
   StoreEmitter emitter(out, codec_, ctx_);
   const double rate = ctx_.machine.reduce_rate;

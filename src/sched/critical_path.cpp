@@ -1,0 +1,145 @@
+#include "sched/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "stats/jsonlite.hpp"
+#include "stats/trace.hpp"
+
+namespace sched {
+
+namespace {
+
+/// Cross-rank envelope of one node's execution.
+struct Span {
+  bool seen = false;
+  double begin = std::numeric_limits<double>::infinity();
+  double end = -std::numeric_limits<double>::infinity();
+  double wait = 0.0;
+};
+
+void append_f64(std::string& out, const char* key, double value,
+                bool leading_comma) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%.9g", leading_comma ? "," : "",
+                key, value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string CriticalPath::json() const {
+  std::string out = "{";
+  append_f64(out, "total_seconds", total_seconds, false);
+  out += ",\"steps\":[";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const CriticalStep& step = steps[i];
+    out += i == 0 ? "{" : ",{";
+    out += "\"node\":" + std::to_string(step.node);
+    out += ",\"name\":\"" + stats::jsonlite::escape(step.name) + "\"";
+    append_f64(out, "begin", step.begin, true);
+    append_f64(out, "end", step.end, true);
+    append_f64(out, "seconds", step.seconds(), true);
+    append_f64(out, "wait_seconds", step.wait_seconds, true);
+    append_f64(out, "slack", step.slack, true);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+CriticalPath critical_path(const Graph& graph, const Plan& plan,
+                           const stats::Collector& collector) {
+  CriticalPath path;
+  const int n = graph.size();
+  if (n == 0) return path;
+
+  // Map each node's executor phase name back to its id. Duplicate node
+  // names fold onto the first id with that name — the envelope then
+  // covers all of them, which is the honest reading of ambiguous
+  // records.
+  std::map<std::string, int, std::less<>> name_to_id;
+  for (int id = 0; id < n; ++id) {
+    name_to_id.emplace("sched:" + graph.node(id).name, id);
+  }
+
+  std::vector<Span> spans(static_cast<std::size_t>(n));
+  for (int r = 0; r < collector.ranks(); ++r) {
+    const stats::Registry& reg = collector.rank(r);
+    for (const stats::PhaseRecord& phase : reg.phases()) {
+      const auto it = name_to_id.find(phase.name);
+      if (it == name_to_id.end()) continue;
+      Span& span = spans[static_cast<std::size_t>(it->second)];
+      span.seen = true;
+      span.begin = std::min(span.begin, phase.begin);
+      span.end = std::max(span.end, phase.end);
+      span.wait = std::max(span.wait, phase.wait);
+    }
+  }
+
+  // The group schedule serializes nodes that share a rank group even
+  // without a graph edge between them; treat that as one extra
+  // predecessor per node.
+  std::vector<int> seq_pred(static_cast<std::size_t>(n), -1);
+  for (const WavePlan& wave : plan.waves) {
+    for (const GroupPlan& group : wave.groups) {
+      for (std::size_t i = 1; i < group.nodes.size(); ++i) {
+        const int node = group.nodes[i];
+        if (node >= 0 && node < n) {
+          seq_pred[static_cast<std::size_t>(node)] = group.nodes[i - 1];
+        }
+      }
+    }
+  }
+
+  // Start from the last node to finish, then walk backward through the
+  // latest-finishing executed predecessor.
+  int tail = -1;
+  for (int id = 0; id < n; ++id) {
+    const Span& span = spans[static_cast<std::size_t>(id)];
+    if (!span.seen) continue;
+    if (tail < 0 || span.end > spans[static_cast<std::size_t>(tail)].end) {
+      tail = id;
+    }
+  }
+  if (tail < 0) return path;  // nothing executed under stats
+
+  std::vector<int> chain;
+  for (int id = tail; id >= 0;) {
+    chain.push_back(id);
+    int next = -1;
+    auto consider = [&](int pred) {
+      if (pred < 0 || pred >= n) return;
+      const Span& span = spans[static_cast<std::size_t>(pred)];
+      if (!span.seen) return;
+      if (next < 0 || span.end > spans[static_cast<std::size_t>(next)].end) {
+        next = pred;
+      }
+    };
+    for (const int pred : graph.predecessors(id)) consider(pred);
+    consider(seq_pred[static_cast<std::size_t>(id)]);
+    id = next;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  path.steps.reserve(chain.size());
+  double previous_end = 0.0;
+  for (const int id : chain) {
+    const Span& span = spans[static_cast<std::size_t>(id)];
+    CriticalStep step;
+    step.node = id;
+    step.name = graph.node(id).name;
+    step.begin = span.begin;
+    step.end = span.end;
+    step.wait_seconds = span.wait;
+    step.slack = span.begin - previous_end;
+    previous_end = span.end;
+    path.steps.push_back(std::move(step));
+  }
+  path.total_seconds = previous_end;
+  return path;
+}
+
+}  // namespace sched

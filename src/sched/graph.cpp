@@ -25,6 +25,7 @@ int Graph::add(JobNode node) {
   nodes_.push_back(std::move(node));
   inputs_.emplace_back();
   succ_.emplace_back();
+  pred_.emplace_back();
   data_consumers_.push_back(0);
   return size() - 1;
 }
@@ -44,6 +45,7 @@ void Graph::add_edge(int producer, int consumer) {
   }
   ins.push_back(producer);
   succ_[producer].push_back(consumer);
+  pred_[consumer].push_back(producer);
   ++data_consumers_[producer];
 }
 
@@ -55,6 +57,7 @@ void Graph::add_order(int before, int after) {
                             std::to_string(before));
   }
   succ_[before].push_back(after);
+  pred_[after].push_back(before);
 }
 
 const JobNode& Graph::node(int id) const {
@@ -63,6 +66,10 @@ const JobNode& Graph::node(int id) const {
 
 const std::vector<int>& Graph::inputs(int id) const {
   return inputs_[static_cast<std::size_t>(check_id(id, "node"))];
+}
+
+const std::vector<int>& Graph::predecessors(int id) const {
+  return pred_[static_cast<std::size_t>(check_id(id, "node"))];
 }
 
 int Graph::data_consumers(int id) const {

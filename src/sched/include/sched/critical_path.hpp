@@ -1,0 +1,59 @@
+// Critical-path extraction over an executed job graph.
+//
+// After run_graph, every rank's stats::Registry holds one "sched:<name>"
+// phase record per node it executed. Folding those records across ranks
+// gives each node an interval [begin = min over ranks, end = max over
+// ranks] plus the worst per-rank collective wait inside the node. The
+// critical path is the backward walk from the last-finishing node along
+// its latest-finishing predecessor — where "predecessor" means a graph
+// edge (data or order) or the node that precedes it in its group's
+// sequential schedule, since admission control serializes groups too.
+// Each hop reports its seconds and its slack (idle time between the
+// chosen predecessor's end and this node's begin; slack can be negative
+// when a node's earliest rank starts before its slowest predecessor
+// rank finishes — the intervals are cross-rank envelopes, not a single
+// rank's timeline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/graph.hpp"
+
+namespace stats {
+class Collector;
+}
+
+namespace sched {
+
+/// One node on the critical path.
+struct CriticalStep {
+  int node = -1;
+  std::string name;
+  double begin = 0.0;  ///< min over ranks of the node's phase begin
+  double end = 0.0;    ///< max over ranks of the node's phase end
+  double wait_seconds = 0.0;  ///< max over ranks of in-node wait
+  /// Gap to the previous step's end (the path start's gap to time 0).
+  double slack = 0.0;
+
+  double seconds() const noexcept { return end - begin; }
+};
+
+/// The longest completion chain of one executed graph.
+struct CriticalPath {
+  double total_seconds = 0.0;  ///< end of the last step
+  std::vector<CriticalStep> steps;
+
+  bool empty() const noexcept { return steps.empty(); }
+  /// Serialize as a JSON object (total_seconds plus an ordered steps
+  /// array), suitable for Summary::sections / the bench JSON.
+  std::string json() const;
+};
+
+/// Extract the critical path from the node timings recorded in
+/// `collector` during an execution of `plan`. Returns an empty path
+/// when no "sched:" phase records exist (e.g. stats were off).
+CriticalPath critical_path(const Graph& graph, const Plan& plan,
+                           const stats::Collector& collector);
+
+}  // namespace sched

@@ -131,6 +131,8 @@ class Graph {
   const JobNode& node(int id) const;
   /// Data inputs of `id`, in add_edge order.
   const std::vector<int>& inputs(int id) const;
+  /// All predecessors of `id` (data and order edges, in add order).
+  const std::vector<int>& predecessors(int id) const;
   /// Number of data consumers of `id`'s output.
   int data_consumers(int id) const;
 
@@ -148,6 +150,7 @@ class Graph {
   std::vector<JobNode> nodes_;
   std::vector<std::vector<int>> inputs_;     ///< data inputs per node
   std::vector<std::vector<int>> succ_;       ///< data+order successors
+  std::vector<std::vector<int>> pred_;       ///< data+order predecessors
   std::vector<int> data_consumers_;
 };
 

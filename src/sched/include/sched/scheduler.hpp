@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mimir/recovery.hpp"
+#include "sched/critical_path.hpp"
 #include "sched/graph.hpp"
 
 namespace stats {
@@ -44,6 +45,10 @@ struct GraphOutcome {
   std::uint64_t degraded_live_bytes = 0;
   double total_backoff = 0.0;
   std::vector<mimir::AttemptRecord> history;
+  /// Longest completion chain of the successful attempt; empty unless a
+  /// stats collector was attached (also exported to the collector as
+  /// the "critical_path" summary section).
+  CriticalPath critical;
 
   int jobs() const noexcept {
     return static_cast<int>(plan.live_bytes.size());

@@ -9,9 +9,11 @@
 #include <string>
 
 #include "check/checker.hpp"
+#include "memtrack/tracker.hpp"
 #include "mimir/checkpoint.hpp"
 #include "mutil/error.hpp"
 #include "stats/registry.hpp"
+#include "stats/trace.hpp"
 
 namespace sched {
 
@@ -80,10 +82,15 @@ void run_group(simmpi::Context& exec, simmpi::Context& world,
           true, std::memory_order_relaxed);
       nctx.resumed = true;
       if (node.consume || graph.data_consumers(id) > 0) {
+        // Restored handoff containers are scheduler-owned, not part of
+        // any single job — attribute their pages to the handoff.
+        const memtrack::TagScope tag("sched.handoff",
+                                     memtrack::TagScope::Mode::kFallback);
         out.emplace(mimir::load_container(exec, ckpt, cfg.page_size));
       }
     } else if (node.skip && node.skip(nctx)) {
       skipped = true;
+      const memtrack::TagScope tag("sched.handoff");
       out.emplace(exec.tracker, cfg.page_size,
                   cfg.output_hint.value_or(cfg.hint));
     } else {
@@ -290,6 +297,12 @@ GraphOutcome run_graph(int nranks, const simtime::MachineProfile& machine,
       },
       collector, checker);
   out.resumed_nodes = count_resumed(resumed_flags);
+  if (collector != nullptr) {
+    out.critical = critical_path(graph, out.plan, *collector);
+    if (!out.critical.empty()) {
+      collector->set_section("critical_path", out.critical.json());
+    }
+  }
   return out;
 }
 
@@ -357,6 +370,12 @@ GraphOutcome run_graph_with_recovery(
       out.total_backoff = ctl.total_backoff;
       out.degraded = out.degraded || ctl.degraded_live != 0;
       out.degraded_live_bytes = ctl.degraded_live;
+      if (collector != nullptr) {
+        out.critical = critical_path(graph, out.plan, *collector);
+        if (!out.critical.empty()) {
+          collector->set_section("critical_path", out.critical.json());
+        }
+      }
       return out;
     } catch (const mutil::UsageError&) {
       throw;  // caller bug, not a fault — never retried

@@ -71,6 +71,12 @@ void Communicator::check_local_error(const char* code,
   s.checker->local_error(check_global_rank(), code, message, clock_->now());
 }
 
+void Communicator::note_wait(double entry, double released) {
+  if (stats::Registry* reg = stats::current()) {
+    reg->record_wait(released - entry);
+  }
+}
+
 Communicator::Communicator(std::shared_ptr<detail::SharedState> shared,
                            int rank)
     : shared_(std::move(shared)), rank_(rank) {}
@@ -164,7 +170,8 @@ void check_vector_sizes(const SharedState& s, std::size_t counts,
 
 void Communicator::barrier() {
   auto& s = *shared_;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kBarrier, 0, 0, -1, 0, nullptr,
                  nullptr);
   checked_wait("barrier");
@@ -172,6 +179,7 @@ void Communicator::barrier() {
   const double t = max_clock(s);
   checked_wait("barrier");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
 }
 
@@ -216,7 +224,8 @@ void Communicator::alltoallv(std::span<const std::byte> send,
   mine.send = send.data();
   mine.counts = send_counts.data();
   mine.displs = send_displs.data();
-  mine.clock = clock_->now();
+  const double entry = clock_->now();
+  mine.clock = entry;
   check_announce(check::CollectiveOp::kAlltoallv, 1, 0, -1, 0,
                  send_counts.data(), recv_counts.data());
   checked_wait("alltoallv");
@@ -248,6 +257,7 @@ void Communicator::alltoallv(std::span<const std::byte> send,
   clock_->set(t + s.collective_latency() +
              static_cast<double>(std::max(sent, received)) /
                  s.net_bandwidth);
+  note_wait(entry, t);
   stats_.bytes_sent += sent;
   stats_.bytes_received += received;
   ++stats_.collectives;
@@ -261,7 +271,8 @@ std::vector<std::uint64_t> Communicator::alltoall_u64(
   }
   Slot& mine = s.slots[rank_];
   mine.counts = values.data();
-  mine.clock = clock_->now();
+  const double entry = clock_->now();
+  mine.clock = entry;
   check_announce(check::CollectiveOp::kAlltoallU64, 8, 0, -1, 0, nullptr,
                  nullptr);
   checked_wait("alltoall_u64");
@@ -275,6 +286,7 @@ std::vector<std::uint64_t> Communicator::alltoall_u64(
   checked_wait("alltoall_u64");
 
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return result;
 }
@@ -298,7 +310,8 @@ T reduce_op(T a, T b, Op op) {
 std::int64_t Communicator::allreduce_i64(std::int64_t value, Op op) {
   auto& s = *shared_;
   s.slots[rank_].i64 = value;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kAllreduceI64, 8,
                  static_cast<std::uint32_t>(op), -1, 0, nullptr, nullptr);
   checked_wait("allreduce_i64");
@@ -308,6 +321,7 @@ std::int64_t Communicator::allreduce_i64(std::int64_t value, Op op) {
   const double t = max_clock(s);
   checked_wait("allreduce_i64");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return acc;
 }
@@ -315,7 +329,8 @@ std::int64_t Communicator::allreduce_i64(std::int64_t value, Op op) {
 std::uint64_t Communicator::allreduce_u64(std::uint64_t value, Op op) {
   auto& s = *shared_;
   s.slots[rank_].u64 = value;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kAllreduceU64, 8,
                  static_cast<std::uint32_t>(op), -1, 0, nullptr, nullptr);
   checked_wait("allreduce_u64");
@@ -325,6 +340,7 @@ std::uint64_t Communicator::allreduce_u64(std::uint64_t value, Op op) {
   const double t = max_clock(s);
   checked_wait("allreduce_u64");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return acc;
 }
@@ -332,7 +348,8 @@ std::uint64_t Communicator::allreduce_u64(std::uint64_t value, Op op) {
 double Communicator::allreduce_f64(double value, Op op) {
   auto& s = *shared_;
   s.slots[rank_].f64 = value;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kAllreduceF64, 8,
                  static_cast<std::uint32_t>(op), -1, 0, nullptr, nullptr);
   checked_wait("allreduce_f64");
@@ -342,6 +359,7 @@ double Communicator::allreduce_f64(double value, Op op) {
   const double t = max_clock(s);
   checked_wait("allreduce_f64");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return acc;
 }
@@ -357,7 +375,8 @@ bool Communicator::allreduce_land(bool value) {
 std::vector<std::int64_t> Communicator::allgather_i64(std::int64_t value) {
   auto& s = *shared_;
   s.slots[rank_].i64 = value;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kAllgatherI64, 8, 0, -1, 0, nullptr,
                  nullptr);
   checked_wait("allgather_i64");
@@ -369,6 +388,7 @@ std::vector<std::int64_t> Communicator::allgather_i64(std::int64_t value) {
   const double t = max_clock(s);
   checked_wait("allgather_i64");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return result;
 }
@@ -376,7 +396,8 @@ std::vector<std::int64_t> Communicator::allgather_i64(std::int64_t value) {
 std::vector<std::uint64_t> Communicator::allgather_u64(std::uint64_t value) {
   auto& s = *shared_;
   s.slots[rank_].u64 = value;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kAllgatherU64, 8, 0, -1, 0, nullptr,
                  nullptr);
   checked_wait("allgather_u64");
@@ -388,6 +409,7 @@ std::vector<std::uint64_t> Communicator::allgather_u64(std::uint64_t value) {
   const double t = max_clock(s);
   checked_wait("allgather_u64");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return result;
 }
@@ -400,7 +422,8 @@ void Communicator::bcast(std::span<std::byte> data, int root) {
   Slot& mine = s.slots[rank_];
   mine.send = data.data();
   mine.bytes = data.size();
-  mine.clock = clock_->now();
+  const double entry = clock_->now();
+  mine.clock = entry;
   check_announce(check::CollectiveOp::kBcast, 1, 0, root, data.size(),
                  nullptr, nullptr);
   checked_wait("bcast");
@@ -416,6 +439,7 @@ void Communicator::bcast(std::span<std::byte> data, int root) {
   checked_wait("bcast");
   clock_->set(t + s.collective_latency() +
              static_cast<double>(data.size()) / s.net_bandwidth);
+  note_wait(entry, t);
   ++stats_.collectives;
 }
 
@@ -425,7 +449,8 @@ std::uint64_t Communicator::bcast_u64(std::uint64_t value, int root) {
     throw mutil::CommError("simmpi: bcast_u64: bad root rank");
   }
   s.slots[rank_].u64 = value;
-  s.slots[rank_].clock = clock_->now();
+  const double entry = clock_->now();
+  s.slots[rank_].clock = entry;
   check_announce(check::CollectiveOp::kBcastU64, 8, 0, root, 0, nullptr,
                  nullptr);
   checked_wait("bcast_u64");
@@ -434,6 +459,7 @@ std::uint64_t Communicator::bcast_u64(std::uint64_t value, int root) {
   const double t = max_clock(s);
   checked_wait("bcast_u64");
   clock_->set(t + s.collective_latency());
+  note_wait(entry, t);
   ++stats_.collectives;
   return result;
 }
@@ -447,7 +473,8 @@ GatherResult Communicator::gatherv(int root,
   Slot& mine = s.slots[rank_];
   mine.send = payload.data();
   mine.bytes = payload.size();
-  mine.clock = clock_->now();
+  const double entry = clock_->now();
+  mine.clock = entry;
   check_announce(check::CollectiveOp::kGatherv, 1, 0, root, 0, nullptr,
                  nullptr);
   checked_wait("gatherv");
@@ -477,6 +504,7 @@ GatherResult Communicator::gatherv(int root,
   const std::uint64_t moved = rank_ == root ? total : payload.size();
   clock_->set(t + s.collective_latency() +
              static_cast<double>(moved) / s.net_bandwidth);
+  note_wait(entry, t);
   if (rank_ == root) {
     stats_.bytes_received += total;
   } else {
@@ -532,7 +560,10 @@ std::vector<std::byte> Communicator::recv(int source, int tag) {
       detail::Mailbox::Message msg = std::move(*it);
       box.messages.erase(it);
       lock.unlock();
+      const double before = clock_->now();
       clock_->sync_to(msg.arrival);
+      // A message that had not yet arrived made the receiver wait.
+      if (msg.arrival > before) note_wait(before, msg.arrival);
       stats_.bytes_received += msg.payload.size();
       return std::move(msg.payload);
     }

@@ -149,6 +149,10 @@ class Communicator {
   /// barriers reads as making progress, so the deadlock verdict ("every
   /// rank blocked, nothing changed") cannot fire on slow compute.
   void checked_wait(const char* what);
+  /// Report `released - entry` simulated seconds of rendezvous blocking
+  /// to the rank's stats registry, if any. Accounting-only: reads
+  /// timestamps already computed by the collective, touches no clock.
+  static void note_wait(double entry, double released);
 
   std::shared_ptr<detail::SharedState> shared_;
   int rank_;

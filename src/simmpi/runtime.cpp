@@ -90,6 +90,10 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
       if (checker != nullptr) audit_bind.emplace(&checker->auditor(r));
       try {
         fn(ctx);
+        // Snapshot the rank's memory breakdown while the tracker is
+        // still alive (the registry outlives this run, the tracker
+        // does not).
+        if (collector != nullptr) collector->rank(r).capture_memory();
         if (checker != nullptr) {
           // Only a successful rank is held to the lifecycle contract;
           // a throwing rank legitimately abandons in-flight pages.
@@ -97,6 +101,13 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
           checker->rank_finished(r);
         }
       } catch (...) {
+        if (collector != nullptr) {
+          try {
+            collector->rank(r).capture_memory();
+          } catch (...) {
+            // Best-effort on the failure path.
+          }
+        }
         if (checker != nullptr) checker->rank_finished(r);
         shared->abort(std::current_exception());
       }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <string>
 #include <string_view>
@@ -50,14 +51,41 @@ struct PhaseRecord {
   /// Phase high-water sample: the rank's true high-water when the phase
   /// set a new rank-lifetime peak, otherwise max(mem_begin, mem_end).
   std::uint64_t mem_peak = 0;
+  /// Simulated seconds this rank spent blocked in collectives / recv
+  /// while the phase was open (always <= seconds(): a collective that
+  /// makes a rank wait also advances its clock at least that far).
+  double wait = 0.0;
 
   double seconds() const noexcept { return end - begin; }
+  double compute_seconds() const noexcept { return end - begin - wait; }
 };
 
 /// A point event (e.g. one shuffle exchange round).
 struct InstantRecord {
   std::string name;
   double time = 0.0;
+};
+
+/// One blocked interval: this rank arrived at a rendezvous `seconds`
+/// of simulated time before it was released at `time`.
+struct WaitRecord {
+  double time = 0.0;     ///< release timestamp (simulated seconds)
+  double seconds = 0.0;  ///< how long the rank waited
+};
+
+/// Snapshot of the rank's memtrack state, taken on the rank thread
+/// before the Tracker goes away (the Registry outlives the run but its
+/// tracker pointer does not).
+struct MemorySnapshot {
+  struct Component {
+    std::string tag;
+    std::uint64_t current = 0;
+    std::uint64_t peak = 0;
+  };
+  bool captured = false;
+  std::uint64_t current = 0;  ///< rank bytes live at capture time
+  std::uint64_t peak = 0;     ///< rank lifetime high-water
+  std::vector<Component> components;
 };
 
 class Registry {
@@ -80,7 +108,17 @@ class Registry {
   // --- phases ------------------------------------------------------------
 
   void phase_begin(std::string_view name);
+  /// Close the innermost open phase. Throws mutil::UsageError when no
+  /// phase is open (an unbalanced end is an instrumentation bug).
   void phase_end();
+  /// Close the innermost open phase, verifying it is named `expected`.
+  /// Throws mutil::UsageError on an empty stack or a name mismatch (the
+  /// message includes the open phase path); the stack is left unchanged
+  /// on mismatch.
+  void phase_end(std::string_view expected);
+  /// Best-effort close for unwinding paths: pops the innermost open
+  /// phase if any, never throws. Returns false when nothing was open.
+  bool phase_end_nothrow() noexcept;
   int open_depth() const noexcept { return static_cast<int>(open_.size()); }
   /// Slash-joined path of the currently open phases ("map/aggregate");
   /// empty at top level. Owner-thread only, like every other probe.
@@ -95,6 +133,13 @@ class Registry {
   void instant(std::string_view name);
   /// Bytes this rank sent to `dest` through the shuffle.
   void record_traffic(int dest, std::uint64_t bytes);
+  /// This rank just left a rendezvous it had been blocked in for
+  /// `seconds` of simulated time. Attributed to every open phase and to
+  /// the rank total; `seconds <= 0` records nothing.
+  void record_wait(double seconds);
+  /// Snapshot the bound Tracker's totals and per-tag breakdown into
+  /// memory(). Must run on the rank thread while the tracker is alive.
+  void capture_memory();
 
   // --- introspection (export and tests) ----------------------------------
 
@@ -115,6 +160,13 @@ class Registry {
     return traffic_;
   }
   std::uint64_t counter(std::string_view name) const noexcept;
+  /// Blocked intervals in release order (for counter tracks).
+  const std::vector<WaitRecord>& waits() const noexcept { return waits_; }
+  /// Total simulated seconds this rank spent blocked.
+  double wait_total() const noexcept { return wait_total_; }
+  /// The memory snapshot taken by capture_memory() (default-constructed
+  /// with captured == false if never taken).
+  const MemorySnapshot& memory() const noexcept { return memory_; }
 
  private:
   struct OpenPhase {
@@ -122,7 +174,10 @@ class Registry {
     double begin = 0.0;
     std::uint64_t mem_begin = 0;
     std::uint64_t peak_at_begin = 0;
+    double wait_at_begin = 0.0;
   };
+
+  PhaseRecord close_top();
 
   double now() const noexcept;
   std::uint64_t mem_current() const noexcept;
@@ -139,6 +194,9 @@ class Registry {
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> timers_;
   std::vector<std::uint64_t> traffic_;
+  std::vector<WaitRecord> waits_;
+  double wait_total_ = 0.0;
+  MemorySnapshot memory_;
 };
 
 /// The calling thread's registry, or nullptr when stats are not being
@@ -160,17 +218,28 @@ class ScopedBind {
 };
 
 /// RAII phase timer. Null-safe: with no registry it is a no-op, so
-/// framework code can open scopes unconditionally.
+/// framework code can open scopes unconditionally. The destructor
+/// verifies it closes the phase it opened (mutil::UsageError on nesting
+/// bugs) — except during unwinding, where it closes best-effort rather
+/// than terminate the process.
 class PhaseScope {
  public:
   /// Scope on the calling thread's registry (stats::current()).
   explicit PhaseScope(std::string_view name) : PhaseScope(current(), name) {}
   PhaseScope(Registry* registry, std::string_view name)
-      : registry_(registry) {
-    if (registry_ != nullptr) registry_->phase_begin(name);
+      : registry_(registry), uncaught_(std::uncaught_exceptions()) {
+    if (registry_ != nullptr) {
+      name_.assign(name);
+      registry_->phase_begin(name_);
+    }
   }
-  ~PhaseScope() {
-    if (registry_ != nullptr) registry_->phase_end();
+  ~PhaseScope() noexcept(false) {
+    if (registry_ == nullptr) return;
+    if (std::uncaught_exceptions() > uncaught_) {
+      registry_->phase_end_nothrow();
+    } else {
+      registry_->phase_end(name_);
+    }
   }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -178,6 +247,8 @@ class PhaseScope {
 
  private:
   Registry* registry_;
+  std::string name_;
+  int uncaught_;
 };
 
 }  // namespace stats

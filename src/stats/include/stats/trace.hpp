@@ -10,9 +10,11 @@
 //   * TraceWriter — Chrome/Perfetto trace-event JSON: one track (tid)
 //                   per rank, phases as duration ("X") events stamped
 //                   with *simulated* microseconds, exchange rounds as
-//                   instant events. Multiple runs stack as separate
-//                   pids, so one trace file can hold a whole benchmark
-//                   sweep (load in ui.perfetto.dev or chrome://tracing).
+//                   instant events, and one cumulative-wait counter
+//                   track ("C") per rank. Multiple runs stack as
+//                   separate pids, so one trace file can hold a whole
+//                   benchmark sweep (load in ui.perfetto.dev or
+//                   chrome://tracing).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +26,24 @@
 #include "stats/registry.hpp"
 
 namespace stats {
+
+/// Cross-rank compute/wait attribution of one phase name.
+struct PhaseAttr {
+  double wait_seconds = 0.0;     ///< max over ranks of in-phase wait
+  double compute_seconds = 0.0;  ///< max over ranks of (total - wait)
+  /// Load imbalance of the compute share: max over mean (1.0 means
+  /// perfectly balanced or no compute at all).
+  double imbalance = 1.0;
+  int straggler = -1;  ///< rank with the largest compute share
+  std::vector<double> per_rank_compute;
+  std::vector<double> per_rank_wait;
+};
+
+/// Per-component memory usage aggregated across ranks.
+struct ComponentMem {
+  std::uint64_t current = 0;  ///< summed across ranks at capture time
+  std::uint64_t peak = 0;     ///< max over ranks of the tag high-water
+};
 
 /// Cross-rank aggregate of one collected run.
 struct Summary {
@@ -37,11 +57,27 @@ struct Summary {
   std::map<std::string, double, std::less<>> phase_seconds;
   /// Per phase name: max over ranks of the phase memory high-water.
   std::map<std::string, std::uint64_t, std::less<>> phase_mem_peak;
+  /// Per phase name: compute vs wait split and imbalance metrics.
+  std::map<std::string, PhaseAttr, std::less<>> phase_attr;
   /// Shuffle traffic matrix: traffic[src][dst] = bytes src sent to dst.
   std::vector<std::vector<std::uint64_t>> traffic;
+  /// Total simulated seconds blocked in collectives, per rank and
+  /// summed (rank-seconds, so the sum can exceed the job time).
+  std::vector<double> wait_per_rank;
+  double wait_total = 0.0;
+  /// Tagged memory attribution from the per-rank capture_memory()
+  /// snapshots. The component currents sum to memory_current_total;
+  /// every component peak is <= memory_peak_max.
+  std::map<std::string, ComponentMem, std::less<>> memory_components;
+  std::uint64_t memory_current_total = 0;  ///< summed rank currents
+  std::uint64_t memory_peak_max = 0;       ///< max rank high-water
+  /// Extra pre-serialized JSON sections (e.g. the scheduler's
+  /// "critical_path"), emitted verbatim as top-level keys.
+  std::map<std::string, std::string, std::less<>> sections;
 
   std::uint64_t traffic_total() const noexcept;
-  /// Serialize as a JSON object (counters, timers, phases, traffic).
+  /// Serialize as a JSON object (counters, timers, phases, traffic,
+  /// wait, memory, plus any extra sections).
   std::string json() const;
 };
 
@@ -61,12 +97,18 @@ class Collector {
     return registries_[static_cast<std::size_t>(r)];
   }
 
+  /// Attach a pre-serialized JSON value under a top-level key of the
+  /// summary (replaces any previous value for `name`; cleared by
+  /// reset()). `json` must be a complete JSON value.
+  void set_section(std::string_view name, std::string json);
+
   Summary summary() const;
   /// Complete single-run Chrome trace-event document.
   std::string trace_json() const;
 
  private:
   std::vector<Registry> registries_;
+  std::map<std::string, std::string, std::less<>> sections_;
 };
 
 /// Incremental trace-event document builder (one pid per added run).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "memtrack/tracker.hpp"
+#include "mutil/error.hpp"
 #include "simtime/clock.hpp"
 
 namespace stats {
@@ -50,11 +51,11 @@ void Registry::phase_begin(std::string_view name) {
   open.begin = now();
   open.mem_begin = mem_current();
   open.peak_at_begin = mem_peak();
+  open.wait_at_begin = wait_total_;
   open_.push_back(std::move(open));
 }
 
-void Registry::phase_end() {
-  if (open_.empty()) return;  // unbalanced end: drop rather than crash
+PhaseRecord Registry::close_top() {
   OpenPhase open = std::move(open_.back());
   open_.pop_back();
 
@@ -72,7 +73,42 @@ void Registry::phase_end() {
   record.mem_peak = peak_now > open.peak_at_begin
                         ? peak_now
                         : std::max(record.mem_begin, record.mem_end);
-  phases_.push_back(std::move(record));
+  record.wait = wait_total_ - open.wait_at_begin;
+  return record;
+}
+
+void Registry::phase_end() {
+  if (open_.empty()) {
+    throw mutil::UsageError(
+        "stats: phase_end with no open phase (rank " +
+        std::to_string(rank_) + ")");
+  }
+  phases_.push_back(close_top());
+}
+
+void Registry::phase_end(std::string_view expected) {
+  if (open_.empty()) {
+    throw mutil::UsageError("stats: phase_end('" + std::string(expected) +
+                            "') with no open phase (rank " +
+                            std::to_string(rank_) + ")");
+  }
+  if (open_.back().name != expected) {
+    throw mutil::UsageError("stats: phase_end('" + std::string(expected) +
+                            "') but the innermost open phase is '" +
+                            open_.back().name + "' (open: " + phase_path() +
+                            ", rank " + std::to_string(rank_) + ")");
+  }
+  phases_.push_back(close_top());
+}
+
+bool Registry::phase_end_nothrow() noexcept {
+  if (open_.empty()) return false;
+  try {
+    phases_.push_back(close_top());
+  } catch (...) {
+    return false;  // allocation failure while unwinding: drop the record
+  }
+  return true;
 }
 
 std::string Registry::phase_path() const {
@@ -109,6 +145,23 @@ void Registry::instant(std::string_view name) {
 void Registry::record_traffic(int dest, std::uint64_t bytes) {
   if (dest < 0 || static_cast<std::size_t>(dest) >= traffic_.size()) return;
   traffic_[static_cast<std::size_t>(dest)] += bytes;
+}
+
+void Registry::record_wait(double seconds) {
+  if (seconds <= 0.0) return;
+  wait_total_ += seconds;
+  waits_.push_back({now(), seconds});
+}
+
+void Registry::capture_memory() {
+  memory_ = MemorySnapshot{};
+  if (tracker_ == nullptr) return;
+  memory_.captured = true;
+  memory_.current = tracker_->current();
+  memory_.peak = tracker_->peak();
+  for (const auto& [tag, usage] : tracker_->tags()) {
+    memory_.components.push_back({tag, usage.current, usage.peak});
+  }
 }
 
 std::uint64_t Registry::counter(std::string_view name) const noexcept {

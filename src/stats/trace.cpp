@@ -28,6 +28,16 @@ void append_kv_f64(std::string& out, const char* key, double value,
   *first = false;
 }
 
+void append_f64_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%s%.9g", i == 0 ? "" : ",", values[i]);
+    out += buf;
+  }
+  out += ']';
+}
+
 constexpr double kMicros = 1e6;  // simulated seconds -> trace microseconds
 
 }  // namespace
@@ -62,6 +72,17 @@ std::string Summary::json() const {
     const auto peak = phase_mem_peak.find(name);
     append_kv_u64(out, "mem_peak",
                   peak == phase_mem_peak.end() ? 0 : peak->second, &inner);
+    if (const auto attr = phase_attr.find(name); attr != phase_attr.end()) {
+      const PhaseAttr& a = attr->second;
+      append_kv_f64(out, "wait_seconds", a.wait_seconds, &inner);
+      append_kv_f64(out, "compute_seconds", a.compute_seconds, &inner);
+      append_kv_f64(out, "imbalance", a.imbalance, &inner);
+      out += ",\"straggler\":" + std::to_string(a.straggler);
+      out += ",\"per_rank_compute\":";
+      append_f64_array(out, a.per_rank_compute);
+      out += ",\"per_rank_wait\":";
+      append_f64_array(out, a.per_rank_wait);
+    }
     out += "}";
   }
   out += "},\"traffic\":{";
@@ -80,22 +101,61 @@ std::string Summary::json() const {
     }
     out += "]";
   }
-  out += "]}}";
+  out += "]}";
+  out += ",\"wait\":{";
+  {
+    bool inner = true;
+    append_kv_f64(out, "total_seconds", wait_total, &inner);
+  }
+  out += ",\"per_rank\":";
+  append_f64_array(out, wait_per_rank);
+  out += "},\"memory\":{";
+  {
+    bool inner = true;
+    append_kv_u64(out, "current_total", memory_current_total, &inner);
+    append_kv_u64(out, "peak_max", memory_peak_max, &inner);
+  }
+  out += ",\"components\":{";
+  first = true;
+  for (const auto& [tag, mem] : memory_components) {
+    out += first ? "" : ",";
+    first = false;
+    out += "\"" + jsonlite::escape(tag) + "\":{";
+    bool inner = true;
+    append_kv_u64(out, "current", mem.current, &inner);
+    append_kv_u64(out, "peak", mem.peak, &inner);
+    out += "}";
+  }
+  out += "}}";
+  // Pre-serialized extra sections (already complete JSON values).
+  for (const auto& [name, raw] : sections) {
+    out += ",\"" + jsonlite::escape(name) + "\":" + raw;
+  }
+  out += "}";
   return out;
 }
 
 void Collector::reset(int nranks) {
   registries_.clear();
   registries_.resize(static_cast<std::size_t>(std::max(nranks, 0)));
+  sections_.clear();
+}
+
+void Collector::set_section(std::string_view name, std::string json) {
+  sections_.insert_or_assign(std::string(name), std::move(json));
 }
 
 Summary Collector::summary() const {
   Summary out;
-  out.traffic.assign(registries_.size(),
-                     std::vector<std::uint64_t>(registries_.size(), 0));
-  // Per-rank totals per phase name, folded into the cross-rank max.
-  std::map<std::string, double, std::less<>> rank_phase;
-  for (std::size_t r = 0; r < registries_.size(); ++r) {
+  const std::size_t n = registries_.size();
+  out.traffic.assign(n, std::vector<std::uint64_t>(n, 0));
+  out.wait_per_rank.assign(n, 0.0);
+  out.sections = sections_;
+  // Per-rank totals per phase name, folded into the cross-rank max and
+  // into the per-phase attribution arrays.
+  std::vector<std::map<std::string, double, std::less<>>> totals(n);
+  std::vector<std::map<std::string, double, std::less<>>> waits(n);
+  for (std::size_t r = 0; r < n; ++r) {
     const Registry& reg = registries_[r];
     for (const auto& [name, value] : reg.counters()) {
       out.counters[name] += value;
@@ -103,20 +163,62 @@ Summary Collector::summary() const {
     for (const auto& [name, value] : reg.timers()) {
       out.timers[name] += value;
     }
-    rank_phase.clear();
     for (const PhaseRecord& phase : reg.phases()) {
-      rank_phase[phase.name] += phase.seconds();
+      totals[r][phase.name] += phase.seconds();
+      waits[r][phase.name] += phase.wait;
       auto& peak = out.phase_mem_peak[phase.name];
       peak = std::max(peak, phase.mem_peak);
     }
-    for (const auto& [name, seconds] : rank_phase) {
+    for (const auto& [name, seconds] : totals[r]) {
       auto& slot = out.phase_seconds[name];
       slot = std::max(slot, seconds);
     }
     const auto& row = reg.traffic();
-    for (std::size_t d = 0; d < row.size() && d < registries_.size(); ++d) {
+    for (std::size_t d = 0; d < row.size() && d < n; ++d) {
       out.traffic[r][d] = row[d];
     }
+    out.wait_per_rank[r] = reg.wait_total();
+    out.wait_total += reg.wait_total();
+    // Tagged memory: components sum rank currents; peaks are the max
+    // over ranks of each tag's (and the rank's) high-water.
+    const MemorySnapshot& mem = reg.memory();
+    if (mem.captured) {
+      out.memory_current_total += mem.current;
+      out.memory_peak_max = std::max(out.memory_peak_max, mem.peak);
+      for (const MemorySnapshot::Component& comp : mem.components) {
+        ComponentMem& slot = out.memory_components[comp.tag];
+        slot.current += comp.current;
+        slot.peak = std::max(slot.peak, comp.peak);
+      }
+    }
+  }
+  // Compute/wait attribution per phase name: compute_r = total_r -
+  // wait_r; the straggler is the rank with the largest compute share
+  // and imbalance is max-over-mean of the compute shares.
+  for (const auto& [name, seconds] : out.phase_seconds) {
+    PhaseAttr attr;
+    attr.per_rank_compute.assign(n, 0.0);
+    attr.per_rank_wait.assign(n, 0.0);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto total_it = totals[r].find(name);
+      const double total =
+          total_it == totals[r].end() ? 0.0 : total_it->second;
+      const auto wait_it = waits[r].find(name);
+      const double wait = wait_it == waits[r].end() ? 0.0 : wait_it->second;
+      const double compute = total - wait;
+      attr.per_rank_compute[r] = compute;
+      attr.per_rank_wait[r] = wait;
+      attr.wait_seconds = std::max(attr.wait_seconds, wait);
+      sum += compute;
+      if (compute > attr.compute_seconds || attr.straggler < 0) {
+        attr.compute_seconds = std::max(compute, 0.0);
+        attr.straggler = static_cast<int>(r);
+      }
+    }
+    const double mean = n == 0 ? 0.0 : sum / static_cast<double>(n);
+    attr.imbalance = mean > 0.0 ? attr.compute_seconds / mean : 1.0;
+    out.phase_attr.emplace(name, std::move(attr));
   }
   return out;
 }
@@ -167,6 +269,18 @@ void TraceWriter::add_run(const Collector& collector,
                     "\"name\":\"%s\",\"ts\":%.6f}",
                     pid, r, jsonlite::escape(mark.name).c_str(),
                     mark.time * kMicros);
+      event(buf);
+    }
+    // One cumulative-wait counter track per rank (the name carries the
+    // rank so tracks never merge across tids in the viewer).
+    double cumulative = 0.0;
+    for (const WaitRecord& wait : reg.waits()) {
+      cumulative += wait.seconds;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"name\":"
+                    "\"wait.rank%d\",\"ts\":%.6f,\"args\":{\"seconds\":"
+                    "%.9g}}",
+                    pid, r, r, wait.time * kMicros, cumulative);
       event(buf);
     }
   }

@@ -135,4 +135,146 @@ TEST(TrackedBuffer, FailedAllocationChargesNothing) {
   EXPECT_EQ(node.current(), 0u);
 }
 
+std::uint64_t tag_current(const memtrack::Tracker& t, const char* tag) {
+  const auto it = t.tags().find(tag);
+  return it == t.tags().end() ? 0 : it->second.current;
+}
+
+std::uint64_t tag_peak(const memtrack::Tracker& t, const char* tag) {
+  const auto it = t.tags().find(tag);
+  return it == t.tags().end() ? 0 : it->second.peak;
+}
+
+/// The attribution invariant: tag currents always partition current().
+void expect_tags_reconcile(const memtrack::Tracker& t) {
+  std::uint64_t sum = 0;
+  for (const auto& [tag, usage] : t.tags()) {
+    sum += usage.current;
+    EXPECT_LE(usage.peak, t.peak()) << tag;
+  }
+  EXPECT_EQ(sum, t.current());
+}
+
+TEST(TagScope, AttributesChargesToTheActiveTag) {
+  memtrack::Tracker t;
+  EXPECT_EQ(memtrack::current_tag(), nullptr);
+  {
+    const memtrack::TagScope tag("pages");
+    EXPECT_STREQ(memtrack::current_tag(), "pages");
+    t.allocate(100);
+    {
+      const memtrack::TagScope inner("shuffle");
+      t.allocate(40);
+    }
+    EXPECT_STREQ(memtrack::current_tag(), "pages");
+    t.allocate(10);
+  }
+  EXPECT_EQ(memtrack::current_tag(), nullptr);
+  t.allocate(5);  // untagged -> "other"
+
+  EXPECT_EQ(tag_current(t, "pages"), 110u);
+  EXPECT_EQ(tag_current(t, "shuffle"), 40u);
+  EXPECT_EQ(tag_current(t, "other"), 5u);
+  expect_tags_reconcile(t);
+
+  {
+    const memtrack::TagScope tag("pages");
+    t.release(110);
+  }
+  {
+    const memtrack::TagScope tag("shuffle");
+    t.release(40);
+  }
+  t.release(5);
+  EXPECT_EQ(t.current(), 0u);
+  EXPECT_EQ(tag_current(t, "pages"), 0u);
+  EXPECT_EQ(tag_peak(t, "pages"), 110u);  // peaks survive the release
+  expect_tags_reconcile(t);
+}
+
+TEST(TagScope, FallbackModeOnlyAppliesWhenUntagged) {
+  memtrack::Tracker t;
+  {
+    // No enclosing tag: the fallback applies.
+    const memtrack::TagScope tag("pages", memtrack::TagScope::Mode::kFallback);
+    EXPECT_STREQ(memtrack::current_tag(), "pages");
+    t.allocate(10);
+  }
+  {
+    const memtrack::TagScope outer("combine_table");
+    // Enclosing tag present: the fallback defers to it.
+    const memtrack::TagScope tag("pages", memtrack::TagScope::Mode::kFallback);
+    EXPECT_STREQ(memtrack::current_tag(), "combine_table");
+    t.allocate(20);
+  }
+  EXPECT_EQ(tag_current(t, "pages"), 10u);
+  EXPECT_EQ(tag_current(t, "combine_table"), 20u);
+  expect_tags_reconcile(t);
+}
+
+TEST(TagScope, TrackedBufferReleasesUnderItsAllocationTag) {
+  memtrack::Tracker t;
+  memtrack::TrackedBuffer buf;
+  {
+    const memtrack::TagScope tag("shuffle");
+    buf = memtrack::TrackedBuffer(t, 64);
+  }
+  EXPECT_EQ(tag_current(t, "shuffle"), 64u);
+  {
+    // Destroyed under a different active tag: the release still lands
+    // on the allocation tag, never going negative elsewhere.
+    const memtrack::TagScope tag("pages");
+    buf.reset();
+  }
+  EXPECT_EQ(tag_current(t, "shuffle"), 0u);
+  EXPECT_EQ(tag_current(t, "pages"), 0u);
+  EXPECT_EQ(t.current(), 0u);
+  expect_tags_reconcile(t);
+}
+
+TEST(TagScope, TagsNeverChangeWhatIsCharged) {
+  // Identical allocation sequences with and without tags must see
+  // identical tracker and node accounting (tags are attribution only).
+  memtrack::NodeBudget plain_node(1024), tagged_node(1024);
+  memtrack::Tracker plain(&plain_node), tagged(&tagged_node);
+
+  plain.allocate(600);
+  plain.release(200);
+  EXPECT_THROW(plain.allocate(900), mutil::OutOfMemoryError);
+
+  {
+    const memtrack::TagScope tag("pages");
+    tagged.allocate(600);
+    tagged.release(200);
+    EXPECT_THROW(tagged.allocate(900), mutil::OutOfMemoryError);
+  }
+
+  EXPECT_EQ(plain.current(), tagged.current());
+  EXPECT_EQ(plain.peak(), tagged.peak());
+  EXPECT_EQ(plain_node.current(), tagged_node.current());
+  EXPECT_EQ(plain_node.peak(), tagged_node.peak());
+  // The failed charge was rolled back, so it must not be attributed.
+  EXPECT_EQ(tag_current(tagged, "pages"), 400u);
+  EXPECT_EQ(tag_peak(tagged, "pages"), 600u);
+  expect_tags_reconcile(tagged);
+}
+
+TEST(TagScope, ResetPeakResetsEveryTagHighWater) {
+  memtrack::Tracker t;
+  {
+    const memtrack::TagScope tag("pages");
+    t.allocate(500);
+    t.release(400);
+  }
+  t.reset_peak();
+  EXPECT_EQ(t.peak(), 100u);
+  EXPECT_EQ(tag_peak(t, "pages"), 100u);
+  {
+    const memtrack::TagScope tag("pages");
+    t.allocate(50);
+  }
+  EXPECT_EQ(tag_peak(t, "pages"), 150u);
+  expect_tags_reconcile(t);
+}
+
 }  // namespace

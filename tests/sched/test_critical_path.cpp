@@ -1,0 +1,143 @@
+// Critical-path extraction over executed job graphs.
+#include "sched/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sched/scheduler.hpp"
+#include "simtime/clock.hpp"
+#include "stats/jsonlite.hpp"
+#include "stats/registry.hpp"
+#include "stats/trace.hpp"
+
+namespace {
+
+using sched::Graph;
+using sched::JobNode;
+using sched::NodeCtx;
+
+JobNode named(const char* name) {
+  JobNode node;
+  node.name = name;
+  return node;
+}
+
+TEST(CriticalPath, FollowsLatestFinishingPredecessors) {
+  // Diamond src -> {left, right} -> sink, executed serially by one rank
+  // (one group), with right the slow branch.
+  Graph g;
+  const int src = g.add(named("src"));
+  const int left = g.add(named("left"));
+  const int right = g.add(named("right"));
+  const int sink = g.add(named("sink"));
+  g.add_edge(src, left);
+  g.add_edge(src, right);
+  g.add_edge(left, sink);
+  g.add_edge(right, sink);
+
+  const auto machine = simtime::MachineProfile::test_profile();
+  const sched::Plan plan = sched::plan_graph(g, 1, machine, {});
+
+  simtime::Clock clock;
+  stats::Collector collector;
+  collector.reset(1);
+  stats::Registry& reg = collector.rank(0);
+  reg.bind(0, 1, &clock, nullptr);
+  const auto phase = [&](const std::string& name, double seconds,
+                         double wait) {
+    reg.phase_begin("sched:" + name);
+    clock.advance(seconds);
+    if (wait > 0.0) reg.record_wait(wait);
+    reg.phase_end();
+  };
+  phase("src", 1.0, 0.0);
+  phase("left", 0.5, 0.0);
+  phase("right", 2.0, 0.25);
+  phase("sink", 1.0, 0.0);
+
+  const sched::CriticalPath path = sched::critical_path(g, plan, collector);
+  // Serial execution: the group sequence chains every node, so the
+  // whole run is the critical path, back-to-back (zero slack).
+  ASSERT_EQ(path.steps.size(), 4u);
+  const char* expected[] = {"src", "left", "right", "sink"};
+  double previous_end = 0.0;
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const sched::CriticalStep& step = path.steps[i];
+    EXPECT_EQ(step.name, expected[i]);
+    EXPECT_DOUBLE_EQ(step.begin, previous_end);
+    EXPECT_DOUBLE_EQ(step.slack, 0.0);
+    previous_end = step.end;
+  }
+  EXPECT_DOUBLE_EQ(path.total_seconds, 4.5);
+  EXPECT_DOUBLE_EQ(path.steps[2].wait_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(path.steps[2].seconds(), 2.0);
+
+  // JSON serialization round-trips through the strict parser.
+  const auto doc = stats::jsonlite::parse(path.json());
+  EXPECT_DOUBLE_EQ(doc.at("total_seconds").number, 4.5);
+  ASSERT_EQ(doc.at("steps").array.size(), 4u);
+  EXPECT_EQ(doc.at("steps").array[2].at("name").str, "right");
+  EXPECT_DOUBLE_EQ(doc.at("steps").array[2].at("wait_seconds").number,
+                   0.25);
+}
+
+TEST(CriticalPath, EmptyWithoutPhaseRecords) {
+  Graph g;
+  (void)g.add(named("only"));
+  const auto machine = simtime::MachineProfile::test_profile();
+  const sched::Plan plan = sched::plan_graph(g, 1, machine, {});
+  stats::Collector collector;  // no records at all
+  EXPECT_TRUE(sched::critical_path(g, plan, collector).empty());
+}
+
+TEST(CriticalPath, ExtractedFromAnExecutedGraph) {
+  Graph g;
+  JobNode produce = named("produce");
+  produce.producer = [](NodeCtx& nctx, mimir::Emitter& out) {
+    for (int i = nctx.exec.rank(); i < 64; i += nctx.exec.size()) {
+      out.emit("key" + std::to_string(i % 8), "v");
+    }
+  };
+  JobNode fold = named("fold");
+  fold.partial = [](std::string_view, std::string_view a, std::string_view,
+                    std::string& out) { out.assign(a); };
+  const int a = g.add(produce);
+  const int b = g.add(fold);
+  g.add_edge(a, b);
+
+  const auto machine = simtime::MachineProfile::test_profile();
+
+  // Without a collector the outcome carries no path (stats were off).
+  {
+    pfs::FileSystem fs(machine, 2);
+    const auto outcome = sched::run_graph(2, machine, fs, g, {});
+    EXPECT_TRUE(outcome.critical.empty());
+  }
+
+  pfs::FileSystem fs(machine, 2);
+  stats::Collector collector;
+  const auto outcome =
+      sched::run_graph(2, machine, fs, g, {}, &collector);
+
+  ASSERT_EQ(outcome.critical.steps.size(), 2u);
+  EXPECT_EQ(outcome.critical.steps[0].name, "produce");
+  EXPECT_EQ(outcome.critical.steps[1].name, "fold");
+  double previous_end = 0.0;
+  for (const sched::CriticalStep& step : outcome.critical.steps) {
+    EXPECT_GE(step.end + 1e-12, previous_end);
+    EXPECT_GE(step.seconds(), 0.0);
+    previous_end = step.end;
+  }
+  EXPECT_DOUBLE_EQ(outcome.critical.total_seconds, previous_end);
+  EXPECT_LE(outcome.critical.total_seconds,
+            outcome.stats.sim_time + 1e-12);
+
+  // The path is also exported as a summary section, as structured JSON.
+  const auto doc = stats::jsonlite::parse(collector.summary().json());
+  ASSERT_EQ(doc.at("critical_path").at("steps").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("critical_path").at("total_seconds").number,
+                   outcome.critical.total_seconds);
+}
+
+}  // namespace

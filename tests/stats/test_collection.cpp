@@ -13,6 +13,7 @@
 #include "apps/wordcount.hpp"
 #include "mimir/checkpoint.hpp"
 #include "simmpi/runtime.hpp"
+#include "stats/registry.hpp"
 #include "stats/trace.hpp"
 
 namespace {
@@ -164,6 +165,79 @@ TEST(StatsCollection, PhasesCountersAndTrafficAreConsistent) {
   for (const char* name : {"map", "aggregate", "convert", "reduce"}) {
     EXPECT_GT(summary.phase_seconds.at(name), 0.0) << name;
     EXPECT_GT(summary.phase_mem_peak.at(name), 0u) << name;
+  }
+}
+
+TEST(StatsCollection, WaitAttributionNamesTheStraggler) {
+  // Rank 2 computes 1s longer than everyone else before a barrier: the
+  // others must be charged ~1s of wait, and the phase attribution must
+  // name rank 2 as the straggler.
+  stats::Collector collector;
+  simmpi::run_test(
+      kRanks,
+      [](Context& ctx) {
+        const stats::PhaseScope phase("skewed");
+        ctx.clock().advance(0.125);
+        if (ctx.rank() == 2) ctx.clock().advance(1.0);
+        ctx.comm.barrier();
+      },
+      &collector);
+
+  const auto summary = collector.summary();
+  const stats::PhaseAttr& attr = summary.phase_attr.at("skewed");
+  EXPECT_EQ(attr.straggler, 2);
+  EXPECT_GT(attr.imbalance, 1.5);
+  EXPECT_DOUBLE_EQ(attr.compute_seconds, 1.125);
+  ASSERT_EQ(attr.per_rank_wait.size(),
+            static_cast<std::size_t>(kRanks));
+  for (int r = 0; r < kRanks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (r == 2) {
+      EXPECT_DOUBLE_EQ(attr.per_rank_wait[i], 0.0) << "straggler waits 0";
+      EXPECT_DOUBLE_EQ(attr.per_rank_compute[i], 1.125);
+    } else {
+      EXPECT_DOUBLE_EQ(attr.per_rank_wait[i], 1.0) << "rank " << r;
+      EXPECT_DOUBLE_EQ(attr.per_rank_compute[i], 0.125) << "rank " << r;
+    }
+  }
+  EXPECT_DOUBLE_EQ(summary.wait_total, 3.0);
+}
+
+TEST(StatsCollection, TaggedMemoryReconcilesWithUntaggedTotals) {
+  Workload wl(kRanks);
+  stats::Collector collector;
+  run_wc(wl, &collector, [](Context& ctx, const apps::wc::RunOptions& o) {
+    return apps::wc::run_mimir(ctx, o);
+  });
+
+  // Per rank: the end-of-run snapshot's component currents partition
+  // the rank's untagged current exactly (tags are pure attribution).
+  for (int r = 0; r < kRanks; ++r) {
+    const stats::MemorySnapshot& mem = collector.rank(r).memory();
+    ASSERT_TRUE(mem.captured) << "rank " << r;
+    std::uint64_t components = 0;
+    for (const auto& component : mem.components) {
+      components += component.current;
+      EXPECT_LE(component.peak, mem.peak) << component.tag;
+    }
+    EXPECT_EQ(components, mem.current) << "rank " << r;
+  }
+
+  // Aggregated: same reconciliation, and the expected core components
+  // actually allocated something during the run.
+  const auto summary = collector.summary();
+  std::uint64_t components_current = 0;
+  for (const auto& [tag, mem] : summary.memory_components) {
+    components_current += mem.current;
+    EXPECT_LE(mem.peak, summary.memory_peak_max) << tag;
+  }
+  EXPECT_EQ(components_current, summary.memory_current_total);
+  EXPECT_GT(summary.memory_peak_max, 0u);
+  for (const char* tag : {"pages", "shuffle", "convert"}) {
+    ASSERT_NE(summary.memory_components.find(tag),
+              summary.memory_components.end())
+        << tag;
+    EXPECT_GT(summary.memory_components.at(tag).peak, 0u) << tag;
   }
 }
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "memtrack/tracker.hpp"
+#include "mutil/error.hpp"
 #include "simtime/clock.hpp"
 
 namespace {
@@ -46,11 +50,97 @@ TEST(Registry, PhaseNestingAndOrdering) {
   EXPECT_LE(inner.end, outer.end);
 }
 
-TEST(Registry, UnbalancedPhaseEndIsIgnored) {
+TEST(Registry, UnbalancedPhaseEndThrows) {
+  Registry reg;
+  reg.bind(3, 4, nullptr, nullptr);
+  try {
+    reg.phase_end();  // no open phase: a caller bug, reported as such
+    FAIL() << "expected UsageError";
+  } catch (const mutil::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("no open phase"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rank 3"), std::string::npos);
+  }
+  EXPECT_TRUE(reg.phases().empty());
+}
+
+TEST(Registry, MismatchedPhaseEndThrowsAndLeavesStackIntact) {
   Registry reg;
   reg.bind(0, 1, nullptr, nullptr);
-  reg.phase_end();  // no open phase: must not crash or record anything
-  EXPECT_TRUE(reg.phases().empty());
+  reg.phase_begin("outer");
+  reg.phase_begin("inner");
+  try {
+    reg.phase_end("outer");  // the top is "inner" — nesting bug
+    FAIL() << "expected UsageError";
+  } catch (const mutil::UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("innermost open phase is 'inner'"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("outer/inner"), std::string::npos) << what;
+  }
+  // The open stack is untouched, so the caller can still unwind it.
+  EXPECT_EQ(reg.open_depth(), 2);
+  reg.phase_end("inner");
+  reg.phase_end("outer");
+  EXPECT_EQ(reg.open_depth(), 0);
+  ASSERT_EQ(reg.phases().size(), 2u);
+
+  // Closing past the bottom of the stack names the expected phase.
+  EXPECT_THROW(reg.phase_end("outer"), mutil::UsageError);
+}
+
+TEST(Registry, PhaseEndNothrowReportsEmptyStack) {
+  Registry reg;
+  reg.bind(0, 1, nullptr, nullptr);
+  EXPECT_FALSE(reg.phase_end_nothrow());
+  reg.phase_begin("p");
+  EXPECT_TRUE(reg.phase_end_nothrow());
+  ASSERT_EQ(reg.phases().size(), 1u);
+}
+
+TEST(Registry, PhaseScopeSurvivesExceptionUnwinding) {
+  Registry reg;
+  reg.bind(0, 1, nullptr, nullptr);
+  ScopedBind bind(&reg);
+  // A throw inside the scope unwinds through the destructor; the phase
+  // still closes and the exception propagates untouched.
+  EXPECT_THROW(
+      {
+        PhaseScope scope("body");
+        throw std::runtime_error("boom");
+      },
+      std::runtime_error);
+  EXPECT_EQ(reg.open_depth(), 0);
+  ASSERT_EQ(reg.phases().size(), 1u);
+  EXPECT_EQ(reg.phases()[0].name, "body");
+}
+
+TEST(Registry, WaitRecordsAccumulateAndAttributeToPhases) {
+  Clock clock;
+  Registry reg;
+  reg.bind(0, 1, &clock, nullptr);
+
+  reg.phase_begin("collective-heavy");
+  clock.advance(2.0);
+  reg.record_wait(0.5);
+  reg.record_wait(0.25);
+  reg.record_wait(0.0);    // ignored: nothing was waited
+  reg.record_wait(-1.0);   // ignored: defensive against clock skew
+  reg.phase_end();
+
+  reg.phase_begin("compute-only");
+  clock.advance(1.0);
+  reg.phase_end();
+
+  EXPECT_DOUBLE_EQ(reg.wait_total(), 0.75);
+  ASSERT_EQ(reg.waits().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.waits()[0].seconds, 0.5);
+  ASSERT_EQ(reg.phases().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.phases()[0].wait, 0.75);
+  EXPECT_DOUBLE_EQ(reg.phases()[0].compute_seconds(), 1.25);
+  EXPECT_DOUBLE_EQ(reg.phases()[1].wait, 0.0);
+  EXPECT_DOUBLE_EQ(reg.phases()[1].compute_seconds(), 1.0);
 }
 
 TEST(Registry, CountersAreMonotonic) {

@@ -30,6 +30,7 @@ struct Sample {
       reg.bind(r, 3, &clock, nullptr);
       reg.phase_begin("map");
       clock.advance(1.0 + r);
+      reg.record_wait(0.25);  // every rank blocked 0.25s in the shuffle
       reg.instant("exchange_round");
       for (int d = 0; d < 3; ++d) {
         const auto bytes = static_cast<std::uint64_t>(100 * (r + 1) + d);
@@ -39,6 +40,7 @@ struct Sample {
       reg.phase_end();
       reg.phase_begin("reduce");
       clock.advance(0.5);
+      reg.record_wait(0.5);  // the whole reduce was one collective wait
       reg.phase_end();
       reg.add("reduce.output_kvs", static_cast<std::uint64_t>(10 + r));
     }
@@ -85,6 +87,61 @@ TEST(Summary, JsonRoundTrips) {
   EXPECT_EQ(matrix_total, summary.traffic_total());
 }
 
+TEST(Summary, AttributesWaitAndComputePerPhase) {
+  const Sample sample;
+  const auto summary = sample.collector.summary();
+
+  // Ranks spend 0.25s of their map waiting; compute is the remainder,
+  // so the straggler is the slowest rank (rank 2: 3.0 - 0.25 = 2.75s).
+  const stats::PhaseAttr& map = summary.phase_attr.at("map");
+  EXPECT_DOUBLE_EQ(map.wait_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(map.compute_seconds, 2.75);
+  EXPECT_EQ(map.straggler, 2);
+  EXPECT_DOUBLE_EQ(map.imbalance, 2.75 / ((0.75 + 1.75 + 2.75) / 3.0));
+  ASSERT_EQ(map.per_rank_compute.size(), 3u);
+  ASSERT_EQ(map.per_rank_wait.size(), 3u);
+  EXPECT_DOUBLE_EQ(map.per_rank_compute[0], 0.75);
+  EXPECT_DOUBLE_EQ(map.per_rank_wait[1], 0.25);
+
+  // The reduce was one pure wait on every rank: zero compute, balanced.
+  const stats::PhaseAttr& reduce = summary.phase_attr.at("reduce");
+  EXPECT_DOUBLE_EQ(reduce.wait_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(reduce.compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(reduce.imbalance, 1.0);  // mean compute is 0
+
+  // Whole-run wait totals.
+  EXPECT_DOUBLE_EQ(summary.wait_total, 3 * 0.75);
+  ASSERT_EQ(summary.wait_per_rank.size(), 3u);
+  EXPECT_DOUBLE_EQ(summary.wait_per_rank[1], 0.75);
+}
+
+TEST(Summary, JsonCarriesAttributionWaitMemoryAndSections) {
+  Sample sample;
+  sample.collector.set_section("critical_path",
+                               "{\"total_seconds\":1.5,\"steps\":[]}");
+  const Value doc = parse(sample.collector.summary().json());
+
+  const Value& map = doc.at("phases").at("map");
+  EXPECT_DOUBLE_EQ(map.at("wait_seconds").number, 0.25);
+  EXPECT_DOUBLE_EQ(map.at("compute_seconds").number, 2.75);
+  EXPECT_EQ(static_cast<int>(map.at("straggler").number), 2);
+  EXPECT_EQ(map.at("per_rank_compute").array.size(), 3u);
+  EXPECT_EQ(map.at("per_rank_wait").array.size(), 3u);
+  EXPECT_GT(map.at("imbalance").number, 1.0);
+
+  EXPECT_DOUBLE_EQ(doc.at("wait").at("total_seconds").number, 2.25);
+  EXPECT_EQ(doc.at("wait").at("per_rank").array.size(), 3u);
+
+  // No tracker was bound, so the memory section is present but empty.
+  EXPECT_EQ(doc.at("memory").at("current_total").as_u64(), 0u);
+  EXPECT_TRUE(doc.at("memory").at("components").object.empty());
+
+  // Raw sections round-trip as structured JSON members.
+  EXPECT_DOUBLE_EQ(
+      doc.at("critical_path").at("total_seconds").number, 1.5);
+  EXPECT_TRUE(doc.at("critical_path").at("steps").array.empty());
+}
+
 TEST(TraceWriter, OneDurationEventPerPhasePerRank) {
   const Sample sample;
   const Value doc = parse(sample.collector.trace_json());
@@ -112,6 +169,36 @@ TEST(TraceWriter, OneDurationEventPerPhasePerRank) {
   }
   EXPECT_EQ(durations.size(), 6u);  // no stray duration events
   EXPECT_EQ(instants, 3);
+}
+
+TEST(TraceWriter, EmitsOneCumulativeWaitCounterTrackPerRank) {
+  const Sample sample;
+  const Value doc = parse(sample.collector.trace_json());
+
+  // tid -> (track name, timestamps, cumulative values) of "C" events.
+  std::map<int, std::string> names;
+  std::map<int, std::vector<double>> ts, values;
+  for (const Value& event : doc.at("traceEvents").array) {
+    if (event.at("ph").str != "C") continue;
+    const int tid = static_cast<int>(event.at("tid").number);
+    if (names.count(tid) != 0) {
+      EXPECT_EQ(names[tid], event.at("name").str)
+          << "one counter track per rank";
+    } else {
+      names[tid] = event.at("name").str;
+    }
+    ts[tid].push_back(event.at("ts").number);
+    values[tid].push_back(event.at("args").at("seconds").number);
+  }
+  ASSERT_EQ(names.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(names[r], "wait.rank" + std::to_string(r));
+    ASSERT_EQ(ts[r].size(), 2u) << "one sample per recorded wait";
+    // Timestamps and the cumulative counter are both non-decreasing.
+    EXPECT_LE(ts[r][0], ts[r][1]);
+    EXPECT_LT(values[r][0], values[r][1]);
+    EXPECT_DOUBLE_EQ(values[r][1], 0.75);  // total wait of the rank
+  }
 }
 
 TEST(TraceWriter, MultipleRunsGetDistinctPids) {
