@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "check/checker.hpp"
+#include "check/race.hpp"
 #include "mutil/error.hpp"
 #include "mutil/logging.hpp"
 #include "stats/jsonlite.hpp"
@@ -196,6 +197,14 @@ void Report::add_table(const std::string& title,
 std::string Report::bench_json() const {
   using stats::jsonlite::escape;
   std::string out = "{\"figure\":\"" + escape(figure_) + "\",\"schema\":2";
+  // Run-level flags for baseline hygiene: committed perf baselines must
+  // come from analyzer-free runs (bench_diff.py --require race_checked=
+  // false enforces it in CI).
+  const check::JobChecker* checker = check::global_checker();
+  const bool race_checked = checker != nullptr && checker->race() != nullptr;
+  out += ",\"flags\":{\"race_checked\":";
+  out += race_checked ? "true" : "false";
+  out += "}";
   out += ",\"points\":[";
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const Point& p = points_[i];
@@ -331,7 +340,7 @@ mutil::Config parse_cli(int argc, char** argv) {
     mutil::set_log_level(
         mutil::parse_log_level(cfg.get_string("mimir.log_level", "warn")));
   }
-  if (cfg.get_bool("mimir.check", false)) {
+  if (cfg.get_bool("mimir.check", false) || cfg.get_bool("mimir.race", false)) {
     check::enable_global(check::CheckConfig::from(cfg));
   }
   return cfg;

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
+  // mimir: shared-ok — only rank 0 writes the capture
   simmpi::run(ranks, machine, fs, [&](simmpi::Context& ctx) {
     mimir::JobConfig jc;
     jc.hint = mimir::KVHint{mimir::KVHint::kString, 8};  // word -> doc id

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   pfs::FileSystem fs(machine, ranks);
   apps::km::Result result;
   const auto stats =
+      // mimir: shared-ok — only rank 0 writes the capture
       simmpi::run(ranks, machine, fs, [&](simmpi::Context& ctx) {
         // Only rank 0 writes the shared capture.
         auto r = mrmpi ? apps::km::run_mrmpi(ctx, opts)

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   pfs::FileSystem fs(machine, ranks);
   apps::pr::Result result;
   const auto stats = simmpi::run(ranks, machine, fs,
+                                 // mimir: shared-ok — only rank 0 writes the capture
                                  [&](simmpi::Context& ctx) {
                                    // Only rank 0 writes the shared capture.
                                    auto r =

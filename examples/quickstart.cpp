@@ -24,6 +24,7 @@ int main() {
                 setup);
   const std::vector<std::string> files{"input/hello.txt"};
 
+  // mimir: shared-ok — the captured file list is read-only
   simmpi::run(4, machine, fs, [&](simmpi::Context& ctx) {
     mimir::Job job(ctx);
 

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   pfs::FileSystem fs(machine, ranks);
   apps::sort::Result result;
   const auto stats =
+      // mimir: shared-ok — only rank 0 writes the capture
       simmpi::run(ranks, machine, fs, [&](simmpi::Context& ctx) {
         // Only rank 0 writes the shared capture.
         auto r = mrmpi ? apps::sort::run_mrmpi(ctx, opts)

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "apps/wordcount.hpp"
+#include "check/race.hpp"
 #include "mutil/config.hpp"
 #include "mutil/sizes.hpp"
 
@@ -49,8 +50,13 @@ int main(int argc, char** argv) {
   opts.cps = cfg.get_bool("cps", false);
   const bool mrmpi = cfg.get_string("framework", "mimir") == "mrmpi";
 
-  apps::wc::Result result;
+  // The cross-rank result goes through check::Shared<T>: under
+  // mimir.race=1 / MIMIR_RACE every access is verified against the
+  // happens-before discipline (only rank 0 writes, the driver reads
+  // after the job), so the capture below is annotated shared-ok.
+  check::Shared<apps::wc::Result> result("wordcount.result");
   const auto stats = simmpi::run(ranks, machine, fs,
+                                 // mimir: shared-ok (check::Shared<T>)
                                  [&](simmpi::Context& ctx) {
                                    // Every rank computes the same (allreduced)
                                    // result; only rank 0 may write the shared
@@ -58,8 +64,9 @@ int main(int argc, char** argv) {
                                    auto r = mrmpi
                                                ? apps::wc::run_mrmpi(ctx, opts)
                                                : apps::wc::run_mimir(ctx, opts);
-                                   if (ctx.rank() == 0) result = r;
+                                   if (ctx.rank() == 0) result.write(r);
                                  });
+  const apps::wc::Result& res = result.unchecked();
 
   std::printf("WordCount (%s, %s, %s)\n", dataset.c_str(),
               mrmpi ? "MR-MPI" : "Mimir", machine.name.c_str());
@@ -67,11 +74,11 @@ int main(int argc, char** argv) {
               mutil::format_size(gen.total_bytes).c_str());
   std::printf("  ranks             : %d\n", ranks);
   std::printf("  total words       : %llu\n",
-              static_cast<unsigned long long>(result.total_words));
+              static_cast<unsigned long long>(res.total_words));
   std::printf("  unique words      : %llu\n",
-              static_cast<unsigned long long>(result.unique_words));
+              static_cast<unsigned long long>(res.unique_words));
   std::printf("  checksum          : %016llx\n",
-              static_cast<unsigned long long>(result.checksum));
+              static_cast<unsigned long long>(res.checksum));
   std::printf("  peak node memory  : %s\n",
               mutil::format_size(stats.node_peak).c_str());
   std::printf("  execution time    : %.3f simulated seconds\n",

@@ -19,6 +19,13 @@ A point whose status degrades (ok/spill -> oom/err) is always a
 regression; a baseline point missing from the candidate is too. New
 points in the candidate are reported but never fail the diff.
 
+--require NAME=VALUE (repeatable) asserts a flag in the candidate's
+top-level "flags" object — e.g. `--require race_checked=false` lets a
+perf-smoke baseline refuse numbers collected with the mimir-race
+analyzer on (the accounting adds host-side work, and a perf baseline
+must describe the configuration it claims to). Values compare as
+strings after lowercasing, so booleans are written true/false.
+
 Exit codes: 0 = no regression, 1 = regression found, 2 = usage error.
 Simulated times and shuffle volume are deterministic, so those compare
 exactly; node peaks of workloads that run rank groups concurrently
@@ -91,13 +98,43 @@ def main(argv=None):
     parser.add_argument("--wait-abs", type=float, default=0.05,
                         help="allowed wait-fraction increase, absolute "
                              "(default 0.05)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="assert candidate flags[NAME] == VALUE "
+                             "(repeatable), e.g. race_checked=false")
     args = parser.parse_args(argv)
+    requirements = []
+    for spec in args.require:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            parser.error(f"--require needs NAME=VALUE, got {spec!r}")
+        requirements.append((name, value))
     for name in ("time_pct", "mem_pct", "shuffle_pct", "wait_abs"):
         if getattr(args, name) < 0:
             parser.error(f"--{name.replace('_', '-')} must be >= 0")
 
     base_doc = load(args.baseline)
     cand_doc = load(args.candidate)
+
+    flag_failures = []
+    cand_flags = cand_doc.get("flags", {})
+    for name, want in requirements:
+        if name not in cand_flags:
+            flag_failures.append(
+                f"required flag {name!r} missing from candidate "
+                f"(flags present: {sorted(cand_flags) or 'none'})")
+            continue
+        got = json.dumps(cand_flags[name]) \
+            if not isinstance(cand_flags[name], str) else cand_flags[name]
+        if got.lower() != want.lower():
+            flag_failures.append(
+                f"flag {name!r} is {got}, required {want}")
+    if flag_failures:
+        for failure in flag_failures:
+            print(f"bench_diff: {failure}", file=sys.stderr)
+        print("bench_diff: FAIL")
+        return 1
+
     base_points = {point_key(p): p for p in base_doc["points"]}
     cand_points = {point_key(p): p for p in cand_doc["points"]}
 

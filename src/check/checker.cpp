@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "check/race.hpp"
 #include "mutil/config.hpp"
 #include "mutil/error.hpp"
 #include "stats/registry.hpp"
@@ -60,6 +61,7 @@ CheckConfig CheckConfig::from(const mutil::Config& cfg) {
       cfg.get_int("mimir.check.watchdog_ms", out.watchdog_interval_ms));
   out.watchdog_stalls = static_cast<int>(
       cfg.get_int("mimir.check.stalls", out.watchdog_stalls));
+  out.race = cfg.get_bool("mimir.race", out.race);
   return out;
 }
 
@@ -87,10 +89,19 @@ void LifecycleAuditor::on_page_alloc(const void* block,
                                      std::uint64_t bytes) {
   live_.insert_or_assign(block, PageInfo{bytes, current_phase()});
   live_bytes_ += bytes;
+  // Automatic shared-state registration for mimir-race: every container
+  // page (KV pages, combine-table arenas, handoff buffers) becomes a
+  // tracked region whose alloc/release count as writes. No-op when the
+  // rank thread has no race binding.
+  race_page_alloc(block, bytes);
 }
 
 void LifecycleAuditor::on_page_release(const void* block,
                                        std::uint64_t bytes) {
+  // Forward before the local-ownership check: a release of a page this
+  // auditor never saw allocated is exactly the cross-thread transfer
+  // the race detector must order (its global region table spans ranks).
+  race_page_release(block);
   const auto it = live_.find(block);
   if (it == live_.end()) {
     // A page allocated before this auditor was bound (e.g. created on
@@ -186,13 +197,18 @@ void LifecycleAuditor::final_audit(const memtrack::Tracker& tracker) {
 // --- JobChecker ----------------------------------------------------------
 
 JobChecker::JobChecker(Report& report, CheckConfig cfg)
-    : report_(&report), cfg_(cfg) {}
+    : report_(&report), cfg_(cfg) {
+  if (cfg_.race) {
+    race_ = std::make_unique<RaceDetector>(report, cfg_.max_region_reports);
+  }
+}
 
 JobChecker::~JobChecker() { stop_watchdog(); }
 
 void JobChecker::reset(int nranks) {
   stop_watchdog();
   nranks_ = nranks;
+  if (race_ != nullptr) race_->reset(nranks);
   {
     const std::scoped_lock lock(block_mutex_);
     blocked_.assign(static_cast<std::size_t>(nranks), BlockedState{});
@@ -554,8 +570,12 @@ JobChecker* global_checker() {
   const std::scoped_lock lock(g_mutex);
   if (!g_env_checked) {
     g_env_checked = true;
-    if (g_checker == nullptr && env_enabled()) {
-      g_checker = std::make_unique<JobChecker>(global_report());
+    // MIMIR_RACE implies checking: the race detector rides on the same
+    // per-job analyzer lifecycle as the other analyzers.
+    if (g_checker == nullptr && (env_enabled() || race_env_enabled())) {
+      CheckConfig cfg;
+      cfg.race = race_env_enabled();
+      g_checker = std::make_unique<JobChecker>(global_report(), cfg);
     }
   }
   return g_checker.get();

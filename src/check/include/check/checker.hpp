@@ -58,6 +58,8 @@ class Config;
 
 namespace check {
 
+class RaceDetector;
+
 /// Analyzer tuning; all times are real (wall-clock) milliseconds — the
 /// watchdog watches host threads, not simulated time.
 struct CheckConfig {
@@ -67,8 +69,12 @@ struct CheckConfig {
   int watchdog_stalls = 2;
   /// Cap on reported alltoallv pairwise mismatches per collective.
   int max_pairwise_reports = 8;
+  /// Run the mimir-race happens-before detector (see race.hpp).
+  bool race = false;
+  /// Cap on reported races per shared region.
+  int max_region_reports = 4;
 
-  /// Read mimir.check.* keys (watchdog_ms, stalls).
+  /// Read mimir.check.* keys (watchdog_ms, stalls) and mimir.race.
   static CheckConfig from(const mutil::Config& cfg);
 };
 
@@ -229,6 +235,12 @@ class JobChecker {
 
   LifecycleAuditor& auditor(int global_rank);
 
+  // -- mimir-race ---------------------------------------------------------
+
+  /// The happens-before race detector, or nullptr when CheckConfig.race
+  /// is off. Reset per job alongside the other analyzers.
+  RaceDetector* race() const noexcept { return race_.get(); }
+
  private:
   void watchdog_loop();
   /// Build the deadlock diagnostic from a blocked-state snapshot.
@@ -243,6 +255,7 @@ class JobChecker {
   std::uint64_t block_counter_ = 0;
 
   std::vector<std::unique_ptr<LifecycleAuditor>> auditors_;
+  std::unique_ptr<RaceDetector> race_;
 
   std::thread watchdog_;
   std::mutex wd_mutex_;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "check/checker.hpp"
+#include "check/race.hpp"
 #include "memtrack/tracker.hpp"
 #include "mimir/checkpoint.hpp"
 #include "mutil/error.hpp"
@@ -38,6 +39,15 @@ struct ExecControl {
 
 std::string node_checkpoint(const std::string& prefix, int id) {
   return prefix + "-n" + std::to_string(id);
+}
+
+/// mimir-race handoff-edge key for node `id`'s output on world rank
+/// `rank`. The rank is part of the key so the edge stays within one
+/// rank's producer -> consumer chain and never invents a cross-rank
+/// ordering the executor does not provide.
+std::uint64_t handoff_key(int id, int rank) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank));
 }
 
 /// Execute one group's run of nodes on its (possibly split) context.
@@ -70,6 +80,11 @@ void run_group(simmpi::Context& exec, simmpi::Context& world,
 
     const std::string ckpt = node_checkpoint(ctl.prefix, id);
     const std::vector<int>& ins = graph.inputs(id);
+    // Join each producer's published clock before touching its
+    // container: the producer -> consumer handoff happens-before edge.
+    for (const int in : ins) {
+      check::race_handoff_acquire(handoff_key(in, world.rank()));
+    }
     bool skipped = false;
     std::optional<mimir::KVContainer> out;
 
@@ -166,6 +181,7 @@ void run_group(simmpi::Context& exec, simmpi::Context& world,
     if (graph.data_consumers(id) > 0) {
       readers_left.emplace(id, graph.data_consumers(id));
       outputs.emplace(id, std::move(*out));
+      check::race_handoff_publish(handoff_key(id, world.rank()));
     }
     // else: `out` dies here — memory back the moment the last (only)
     // consumer is done, which for a sink is the node itself.

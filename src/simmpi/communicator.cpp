@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "check/checker.hpp"
+#include "check/race.hpp"
 #include "shared_state.hpp"
 #include "stats/registry.hpp"
 
@@ -42,6 +43,12 @@ void Communicator::check_announce(check::CollectiveOp op,
   fp.sim_time = clock_->now();
   const stats::Registry* reg = stats::current();
   fp.phase = reg != nullptr ? reg->phase_path() : std::string();
+  if (check::RaceDetector* race = s.checker->race()) {
+    // Feed the cross-run determinism digest: each rank chains its own
+    // fingerprint history (announce runs before the entry barrier, so
+    // only the owner rank touches its chain).
+    race->record_fingerprint(check_global_rank(), fp, s.nranks);
+  }
 }
 
 void Communicator::check_verify() {
@@ -49,6 +56,13 @@ void Communicator::check_verify() {
   if (s.checker == nullptr) return;
   if (rank_ == 0) {
     s.checker->verify_collective(s.check_fps, s.check_ranks);
+    if (check::RaceDetector* race = s.checker->race()) {
+      // Collective rendezvous joins every participant's vector clock.
+      // Safe to apply on one rank's behalf: the peers are (or will be)
+      // blocked in the verification fence below, and their
+      // pre-collective accesses are ordered by the entry barrier.
+      race->collective_sync(s.check_ranks);
+    }
   }
   // Verification fence: hold every rank until rank 0 accepted the
   // fingerprints, so nobody dereferences peer slot data from a
@@ -527,6 +541,13 @@ void Communicator::send(int dest, int tag,
   msg.tag = tag;
   msg.arrival = clock_->now() + transfer;
   msg.payload.assign(payload.begin(), payload.end());
+  if (s.checker != nullptr) {
+    if (check::RaceDetector* race = s.checker->race()) {
+      // The send -> recv happens-before edge: snapshot the sender's
+      // vector clock into the message for the receiver to join.
+      msg.race_clock = race->send_edge(check_global_rank());
+    }
+  }
 
   auto& box = *s.mailboxes[static_cast<std::size_t>(dest)];
   {
@@ -560,6 +581,11 @@ std::vector<std::byte> Communicator::recv(int source, int tag) {
       detail::Mailbox::Message msg = std::move(*it);
       box.messages.erase(it);
       lock.unlock();
+      if (s.checker != nullptr && !msg.race_clock.empty()) {
+        if (check::RaceDetector* race = s.checker->race()) {
+          race->recv_edge(check_global_rank(), msg.race_clock);
+        }
+      }
       const double before = clock_->now();
       clock_->sync_to(msg.arrival);
       // A message that had not yet arrived made the receiver wait.

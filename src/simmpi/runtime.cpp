@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "check/checker.hpp"
+#include "check/race.hpp"
 #include "mutil/logging.hpp"
 #include "shared_state.hpp"
 #include "stats/registry.hpp"
@@ -87,7 +88,13 @@ JobStats run(int nranks, const simtime::MachineProfile& machine,
         stats_bind.emplace(&registry);
       }
       std::optional<check::ScopedAudit> audit_bind;
-      if (checker != nullptr) audit_bind.emplace(&checker->auditor(r));
+      std::optional<check::ScopedRaceRank> race_bind;
+      if (checker != nullptr) {
+        audit_bind.emplace(&checker->auditor(r));
+        // Null detector when race checking is off: the annotation API
+        // and page hooks see no binding and stay zero-cost.
+        race_bind.emplace(checker->race(), r, &ctx.clock());
+      }
       try {
         fn(ctx);
         // Snapshot the rank's memory breakdown while the tracker is

@@ -2,26 +2,17 @@
 // table, the global barrier, per-rank mailboxes, and the abort channel.
 // Private to the simmpi library.
 //
-// Happens-before argument (why the slot table is race-free):
-//
-// Every collective is bracketed by barrier_wait() calls on the shared
-// generation barrier. barrier_wait() acquires and releases the same
-// std::mutex on every rank, so for any two ranks A and B:
-//
-//   A's slot writes  -sequenced-before->  A enters the entry barrier
-//   A enters the barrier  -synchronizes-with->  B leaves the barrier
-//     (both lock `mutex`; the last arrival's unlock is observed by every
-//      waiter's re-acquisition in cv.wait)
-//   B leaves the barrier  -sequenced-before->  B's slot reads
-//
-// hence every pre-entry-barrier write is visible to every
-// post-entry-barrier read, and no rank writes its slot again until after
-// the exit barrier, which orders the reads before the next round's
-// writes. The mimir-check fingerprints (check_fps) follow exactly the
-// same discipline: written by the owner before the entry barrier, read
-// by the communicator's rank 0 between the entry barrier and the
-// verification fence barrier, never touched again until after the exit
-// barrier.
+// Why the slot table is race-free: every collective is bracketed by
+// barrier_wait() calls on the shared generation barrier, so every
+// pre-entry-barrier slot write synchronizes-with every
+// post-entry-barrier slot read, and no rank writes its slot again until
+// after the exit barrier. The full happens-before argument — and the
+// race detector (mimir-race) that checks user code against the same
+// discipline — lives in DESIGN.md, "Memory model & race detection".
+// The mimir-check fingerprints (check_fps) follow the slot discipline:
+// written by the owner before the entry barrier, read by the
+// communicator's rank 0 between the entry barrier and the verification
+// fence barrier, never touched again until after the exit barrier.
 #pragma once
 
 #include <bit>
@@ -61,6 +52,10 @@ struct Mailbox {
     int tag = 0;
     double arrival = 0.0;  ///< simulated arrival time at the receiver
     std::vector<std::byte> payload;
+    /// mimir-race: the sender's vector clock snapshotted at send time;
+    /// the receiver joins it on the matched recv (the send -> recv
+    /// happens-before edge). Empty when race checking is off.
+    std::vector<std::uint64_t> race_clock;
   };
 
   std::mutex mutex;

@@ -1,0 +1,24 @@
+// Lint fixture — NOT compiled, only scanned by scripts/lint_capture.py.
+//
+// Reproduces the PR 2 shared-capture bug verbatim: a driver-side
+// accumulator captured by reference into the rank body, incremented by
+// every rank thread with no happens-before edge. lint_capture.py must
+// flag the `[&]` below (the ctest entry is WILL_FAIL); the runtime twin
+// of this pattern lives in test_race.cpp
+// (RaceShared.SharedCaptureAccumulatorRegressionNamesBothSites).
+#include <cstdint>
+#include <cstdio>
+
+#include "simmpi/runtime.hpp"
+
+int main() {
+  std::uint64_t word_total = 0;  // shared across all rank threads
+  simmpi::run_test(4, [&](simmpi::Context& ctx) {
+    // Every rank bumps the captured counter concurrently: a
+    // write-write race on word_total.
+    word_total += static_cast<std::uint64_t>(ctx.rank() + 10);
+  });
+  std::printf("total: %llu\n",
+              static_cast<unsigned long long>(word_total));
+  return 0;
+}
