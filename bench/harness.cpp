@@ -188,6 +188,10 @@ void Report::add_run(const RunLabel& label, const Outcome& outcome,
   points_.push_back(std::move(point));
 }
 
+void Report::set_flag(const std::string& name, bool value) {
+  flags_[name] = value;
+}
+
 void Report::add_table(const std::string& title,
                        const std::vector<std::string>& columns,
                        const std::vector<std::vector<std::string>>& rows) {
@@ -204,6 +208,11 @@ std::string Report::bench_json() const {
   const bool race_checked = checker != nullptr && checker->race() != nullptr;
   out += ",\"flags\":{\"race_checked\":";
   out += race_checked ? "true" : "false";
+  for (const auto& [name, value] : flags_) {
+    if (name == "race_checked") continue;  // derived above, not settable
+    out += ",\"" + escape(name) + "\":";
+    out += value ? "true" : "false";
+  }
   out += "}";
   out += ",\"points\":[";
   for (std::size_t i = 0; i < points_.size(); ++i) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -136,6 +137,11 @@ class Report {
   void add_run(const RunLabel& label, const Outcome& outcome,
                const stats::Collector& collector);
 
+  /// Declare a run-level flag for the BENCH json "flags" object (e.g.
+  /// overlap=true for figures exercising the non-blocking shuffle);
+  /// bench_diff.py --require NAME=VALUE asserts them in CI.
+  void set_flag(const std::string& name, bool value);
+
   /// Capture a printed table for round-trip checks (called by ~Table).
   void add_table(const std::string& title,
                  const std::vector<std::string>& columns,
@@ -167,6 +173,7 @@ class Report {
   std::string dir_;
   bool trace_ = false;
   bool written_ = false;
+  std::map<std::string, bool> flags_;
   std::vector<Point> points_;
   std::vector<CapturedTable> tables_;
   stats::TraceWriter trace_writer_;

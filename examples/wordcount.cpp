@@ -10,6 +10,7 @@
 //   size=BYTES               total input size, e.g. 1M (1M)
 //   framework=mimir|mrmpi    (mimir)
 //   hint=0|1 pr=0|1 cps=0|1  Mimir optional optimizations (off)
+//   overlap=0|1              double-buffered non-blocking shuffle (off)
 //   page=BYTES comm=BYTES    page / comm buffer sizes (64K)
 //   seed=N                   dataset seed (1)
 #include <cstdio>
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   opts.hint = cfg.get_bool("hint", false);
   opts.pr = cfg.get_bool("pr", false);
   opts.cps = cfg.get_bool("cps", false);
+  opts.overlap = cfg.get_bool("overlap", false);
   const bool mrmpi = cfg.get_string("framework", "mimir") == "mrmpi";
 
   // The cross-rank result goes through check::Shared<T>: under

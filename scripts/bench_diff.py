@@ -17,7 +17,10 @@ matched point the tool compares:
 
 A point whose status degrades (ok/spill -> oom/err) is always a
 regression; a baseline point missing from the candidate is too. New
-points in the candidate are reported but never fail the diff.
+points in the candidate are reported but never fail the diff. A metric
+that is zero or absent in the baseline has no meaningful relative
+change: it is reported as "n/a" and never counts as a regression (the
+presence checks above still guard the point itself).
 
 --require NAME=VALUE (repeatable) asserts a flag in the candidate's
 top-level "flags" object — e.g. `--require race_checked=false` lets a
@@ -166,11 +169,21 @@ def main(argv=None):
                                    ("node_peak", "node_peak", args.mem_pct),
                                    ("shuffle_bytes", "shuffle_bytes",
                                     args.shuffle_pct)):
-            change = rel_change(base.get(field, 0), cand.get(field, 0))
+            b_val, c_val = base.get(field, 0), cand.get(field, 0)
+            if field not in base or b_val == 0:
+                # A relative threshold is meaningless against a zero or
+                # absent baseline: report the value, never fail on it.
+                why = ("absent from baseline" if field not in base
+                       else "baseline is 0")
+                if c_val != 0 or field not in base:
+                    note(key, metric,
+                         f"n/a ({why}; candidate {c_val})", False)
+                continue
+            change = rel_change(b_val, c_val)
             over = change * 100.0 > pct
             if over or change != 0.0:
                 note(key, metric,
-                     f"{base.get(field, 0)} -> {cand.get(field, 0)} "
+                     f"{b_val} -> {c_val} "
                      f"({fmt_pct(change)}, limit +{pct:g}%)", over)
 
         b_wait, c_wait = wait_fraction(base), wait_fraction(cand)

@@ -36,6 +36,7 @@ struct RunOptions {
   std::uint64_t comm_buffer = 64 << 10;
   bool hint = false;
   bool cps = false;
+  bool overlap = false;  ///< double-buffered non-blocking shuffle
 
   std::uint64_t num_vertices() const { return 1ull << scale; }
   std::uint64_t num_edges() const {

@@ -67,9 +67,10 @@ struct RunOptions {
   std::vector<std::string> files;
   std::uint64_t page_size = 64 << 10;
   std::uint64_t comm_buffer = 64 << 10;
-  bool hint = false;  ///< KV-hint: string key, fixed 8-byte value
-  bool pr = false;    ///< partial reduction instead of convert+reduce
-  bool cps = false;   ///< KV compression before aggregate
+  bool hint = false;     ///< KV-hint: string key, fixed 8-byte value
+  bool pr = false;       ///< partial reduction instead of convert+reduce
+  bool cps = false;      ///< KV compression before aggregate
+  bool overlap = false;  ///< double-buffered non-blocking shuffle
 };
 
 struct Result {

@@ -192,6 +192,7 @@ static Result run_mimir_impl(simmpi::Context& ctx, const RunOptions& opts,
   cfg.comm_buffer = opts.comm_buffer;
   cfg.hint = hint_for(opts.hint);
   cfg.kv_compression = opts.cps;
+  cfg.overlap = opts.overlap;
 
   // Partition phase: route each directed edge to its source's owner.
   // Compression applies to the per-iteration contribution exchange, not
@@ -434,6 +435,7 @@ SchedRun make_sched(const RunOptions& opts, int nranks, int top_k) {
   cfg.comm_buffer = opts.comm_buffer;
   cfg.hint = hint_for(opts.hint);
   cfg.kv_compression = opts.cps;
+  cfg.overlap = opts.overlap;
   mimir::JobConfig partition_cfg = cfg;
   partition_cfg.kv_compression = false;
 

@@ -156,6 +156,7 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
   cfg.comm_buffer = opts.comm_buffer;
   if (opts.hint) cfg.hint = mimir::KVHint::string_key_u64_value();
   cfg.kv_compression = opts.cps;
+  cfg.overlap = opts.overlap;
 
   mimir::Job job(ctx, cfg);
   job.map_text_files(opts.files, map_words,

@@ -51,6 +51,8 @@ const char* to_string(CollectiveOp op) noexcept {
     case CollectiveOp::kBcastU64: return "bcast_u64";
     case CollectiveOp::kGatherv: return "gatherv";
     case CollectiveOp::kSplit: return "split";
+    case CollectiveOp::kIalltoallv: return "ialltoallv";
+    case CollectiveOp::kIallreduceU64: return "iallreduce_u64";
   }
   return "unknown";
 }

@@ -97,6 +97,12 @@ enum class CollectiveOp : std::uint32_t {
   kBcastU64,
   kGatherv,
   kSplit,
+  // Non-blocking collectives match on initiation order, not on the
+  // shared-slot rendezvous, so they carry their own op kinds: the
+  // kAlltoallv pairwise audit must not fire for them (an ialltoallv
+  // fingerprint has no recv counts — they are discovered at completion).
+  kIalltoallv,
+  kIallreduceU64,
 };
 
 const char* to_string(CollectiveOp op) noexcept;

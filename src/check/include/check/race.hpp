@@ -170,6 +170,28 @@ class RaceDetector {
   /// Consumer-side handoff edge: join the clock published under `key`.
   void handoff_acquire(int global_rank, std::uint64_t key);
 
+  // -- non-blocking collective buffer freeze -------------------------------
+
+  /// Freeze the registered region at `base` for the duration of an
+  /// in-flight non-blocking collective named `what`: until nb_complete,
+  /// every write to the region — and every read when `op_writes` is set
+  /// (a receive buffer the operation will fill) — is reported as
+  /// "write-after-initiate"/"read-after-initiate". This catches the one
+  /// hazard the epoch rule cannot: a rank touching its *own* in-flight
+  /// buffer, where program order trivially satisfies happens-before but
+  /// the buffer belongs to the collective until Request::wait returns.
+  /// The initiation itself counts as a read of a send buffer (the
+  /// operation captures its contents). Unregistered bases are ignored.
+  void nb_initiate(const void* base, int global_rank, bool op_writes,
+                   std::string_view what, double sim_time,
+                   std::string phase);
+
+  /// Thaw the region at `base` and record the completion access (a
+  /// write for op-written regions, a read otherwise) on the waiting
+  /// rank — the join point of the initiate -> wait happens-before edge.
+  void nb_complete(const void* base, int global_rank, double sim_time,
+                   std::string phase);
+
   // -- registered shared state -------------------------------------------
 
   /// Register [base, base+bytes) as shared state named `name`.
@@ -223,11 +245,17 @@ class RaceDetector {
     AccessSite last_write;
     std::vector<AccessSite> reads;  ///< per-rank last read
     int reports = 0;
+    /// Non-blocking freeze window (nb_initiate .. nb_complete).
+    bool frozen = false;
+    bool frozen_op_writes = false;
+    std::string frozen_what;
+    AccessSite frozen_site;  ///< the initiator, for diagnostics
   };
 
   /// Phase/sim-time for an access on the calling rank thread.
   void report_race(RegionState& region, const AccessSite& previous,
                    const AccessSite& current);
+  void report_frozen(RegionState& region, const AccessSite& current);
   bool ordered_before(const AccessSite& site,
                       const VectorClock& clock) const noexcept;
 

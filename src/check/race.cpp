@@ -113,6 +113,44 @@ void RaceDetector::handoff_acquire(int global_rank, std::uint64_t key) {
   clocks_[static_cast<std::size_t>(global_rank)].join(it->second);
 }
 
+// --- non-blocking collective buffer freeze ---------------------------------
+
+void RaceDetector::nb_initiate(const void* base, int global_rank,
+                               bool op_writes, std::string_view what,
+                               double sim_time, std::string phase) {
+  // Initiating captures a send buffer's contents: count it as a read so
+  // it orders against earlier writes like any other access.
+  if (!op_writes) access(base, global_rank, false, sim_time, phase);
+  const std::scoped_lock lock(mutex_);
+  const auto it = regions_.find(base);
+  if (it == regions_.end()) return;
+  RegionState& region = it->second;
+  region.frozen = true;
+  region.frozen_op_writes = op_writes;
+  region.frozen_what.assign(what);
+  region.frozen_site.rank = global_rank;
+  region.frozen_site.epoch =
+      clocks_[static_cast<std::size_t>(global_rank)][global_rank];
+  region.frozen_site.sim_time = sim_time;
+  region.frozen_site.phase = std::move(phase);
+  region.frozen_site.write = op_writes;
+}
+
+void RaceDetector::nb_complete(const void* base, int global_rank,
+                               double sim_time, std::string phase) {
+  bool op_writes = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = regions_.find(base);
+    if (it == regions_.end()) return;
+    op_writes = it->second.frozen_op_writes;
+    it->second.frozen = false;
+    it->second.frozen_what.clear();
+    it->second.frozen_site = AccessSite{};
+  }
+  access(base, global_rank, op_writes, sim_time, std::move(phase));
+}
+
 // --- registered shared state ----------------------------------------------
 
 void RaceDetector::region_register(const void* base, std::uint64_t bytes,
@@ -167,6 +205,38 @@ void RaceDetector::report_race(RegionState& region,
   report_->add(std::move(d));
 }
 
+void RaceDetector::report_frozen(RegionState& region,
+                                 const AccessSite& current) {
+  ++races_;
+  if (region.reports >= max_region_reports_) return;
+  ++region.reports;
+
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.analyzer = "race";
+  d.code = current.write ? "write-after-initiate" : "read-after-initiate";
+  std::ostringstream oss;
+  oss << (current.write ? "write to '" : "read of '") << region.name
+      << "' (" << region.bytes << " bytes) while a non-blocking "
+      << region.frozen_what << " is in flight: " << describe_site(current)
+      << "; rank " << region.frozen_site.rank
+      << " initiated the operation";
+  if (!region.frozen_site.phase.empty()) {
+    oss << " in phase '" << region.frozen_site.phase << "'";
+  }
+  oss << " at t=" << region.frozen_site.sim_time
+      << "s and has not completed it (the buffer belongs to the "
+         "collective until Request::wait returns)";
+  d.message = oss.str();
+  d.ranks = {region.frozen_site.rank, current.rank};
+  std::sort(d.ranks.begin(), d.ranks.end());
+  d.ranks.erase(std::unique(d.ranks.begin(), d.ranks.end()),
+                d.ranks.end());
+  d.phase = current.phase;
+  d.sim_time = current.sim_time;
+  report_->add(std::move(d));
+}
+
 void RaceDetector::access(const void* base, int global_rank, bool write,
                           double sim_time, std::string phase) {
   const std::scoped_lock lock(mutex_);
@@ -181,6 +251,10 @@ void RaceDetector::access(const void* base, int global_rank, bool write,
   cur.sim_time = sim_time;
   cur.phase = std::move(phase);
   cur.write = write;
+
+  if (region.frozen && (write || region.frozen_op_writes)) {
+    report_frozen(region, cur);
+  }
 
   // FastTrack epoch rule: every access must happen-after the last
   // write; a write must additionally happen-after every rank's last

@@ -89,12 +89,18 @@ struct JobConfig {
   /// partial_reduce() path streams end to end.
   std::uint64_t ooc_live_bytes = 0;
   std::uint64_t input_chunk = 64 << 10;  ///< text-file read granularity
+  /// Overlapped shuffle (extension): double-buffer the send side and
+  /// run exchange rounds on non-blocking collectives, so round k's
+  /// communication hides under round k+1's map compute. Charges one
+  /// extra send buffer. Results are bit-identical with overlap on or
+  /// off; only the wait/overlap time attribution changes.
+  bool overlap = false;
   /// Alternative key-to-rank routing (paper §III-A). Empty = hash.
   PartitionFn partitioner{};
 
   /// Parse "mimir.*" keys from a Config (page_size, comm_buffer,
-  /// kv_compression, key_hint, value_hint, input_chunk). Hints accept
-  /// "var", "str", or a fixed byte count.
+  /// kv_compression, key_hint, value_hint, input_chunk, overlap). Hints
+  /// accept "var", "str", or a fixed byte count.
   static JobConfig from(const mutil::Config& cfg);
 };
 

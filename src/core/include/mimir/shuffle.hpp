@@ -18,6 +18,19 @@
 // destination, the total received per round can never exceed the send
 // buffer size: the receive buffer never needs to be larger than the send
 // buffer, even under extreme key skew (§III-B).
+//
+// Overlapped mode (`overlap = true`) double-buffers the send side: when
+// a partition fills, the exchange round is *initiated* with non-blocking
+// collectives (ialltoallv + iallreduce vote) and the map keeps emitting
+// into the second send buffer. The round is completed — waited on and
+// drained into the destination container — only when the second buffer
+// also fills or at finalize, so communication of round k hides under the
+// map compute of round k+1. At most one round is in flight, which is
+// what lets both rounds share the single receive buffer. Round
+// boundaries, payloads, and the receive drain order are identical to the
+// blocking mode, so job results are bit-identical with overlap on or
+// off; only the time attribution (blocked wait vs hidden overlap)
+// changes.
 #pragma once
 
 #include <cstdint>
@@ -40,10 +53,14 @@ using PartitionFn = std::function<int(std::string_view key, int nranks)>;
 class Shuffle {
  public:
   /// `dest` receives this rank's share of the shuffled KVs. `comm_buffer`
-  /// is the total send-buffer size (the receive buffer matches it).
+  /// is the total send-buffer size (the receive buffer matches it; the
+  /// usable — and charged — size is rounded down to p equal partitions).
   /// `partitioner` overrides the default key-hash routing when set.
+  /// `overlap` enables the double-buffered non-blocking exchange (one
+  /// extra send buffer is charged).
   Shuffle(simmpi::Context& ctx, std::uint64_t comm_buffer, KVHint hint,
-          KVContainer& dest, PartitionFn partitioner = {});
+          KVContainer& dest, PartitionFn partitioner = {},
+          bool overlap = false);
 
   Shuffle(const Shuffle&) = delete;
   Shuffle& operator=(const Shuffle&) = delete;
@@ -61,21 +78,37 @@ class Shuffle {
   std::uint64_t bytes_emitted() const noexcept { return bytes_emitted_; }
   std::uint64_t rounds() const noexcept { return rounds_; }
   std::uint64_t partition_capacity() const noexcept { return part_cap_; }
+  bool overlapped() const noexcept { return overlap_; }
 
  private:
-  /// One collective round; returns true while any rank still has data.
+  /// Blocking path: one collective round; returns true while any rank
+  /// still has data.
   bool exchange_round(bool this_rank_done);
+  /// Overlap path: initiate a round on the active send buffer (the
+  /// buffer then belongs to the operation until complete_round).
+  void start_round(bool this_rank_done);
+  /// Overlap path: wait for the in-flight round, drain the receive
+  /// buffer, and release the round's send buffer. Returns the round's
+  /// continue vote (true while any rank still has data).
+  bool complete_round();
 
   simmpi::Context& ctx_;
   KVCodec codec_;
   KVContainer& dest_;
   PartitionFn partitioner_;
+  bool overlap_;
 
-  memtrack::TrackedBuffer send_;
+  memtrack::TrackedBuffer send_[2];  ///< [1] allocated only with overlap
   memtrack::TrackedBuffer recv_;
   std::uint64_t part_cap_;
-  std::vector<std::uint64_t> part_used_;
+  std::vector<std::uint64_t> part_used_[2];
   std::vector<std::uint64_t> part_displs_;
+
+  int cur_ = 0;              ///< send buffer the map emits into
+  bool in_flight_ = false;   ///< a started round awaits complete_round
+  int flight_ = 0;           ///< send buffer owned by the in-flight round
+  simmpi::Request data_req_;
+  simmpi::Request vote_req_;
 
   std::uint64_t kvs_emitted_ = 0;
   std::uint64_t bytes_emitted_ = 0;

@@ -111,6 +111,7 @@ JobConfig JobConfig::from(const mutil::Config& cfg) {
   out.ooc_live_bytes =
       cfg.get_size("mimir.ooc_live_bytes", out.ooc_live_bytes);
   out.input_chunk = cfg.get_size("mimir.input_chunk", out.input_chunk);
+  out.overlap = cfg.get_bool("mimir.overlap", out.overlap);
   out.hint.key_len = parse_hint(cfg, "mimir.key_hint", out.hint.key_len);
   out.hint.value_len =
       parse_hint(cfg, "mimir.value_hint", out.hint.value_len);
@@ -169,7 +170,7 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
   const stats::PhaseScope phase("map");
   inject::phase_point("map");
   Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, intermediate_,
-                  cfg_.partitioner);
+                  cfg_.partitioner, cfg_.overlap);
   if (cfg_.kv_compression) {
     // cps: combine locally first, then shuffle the survivors (either at
     // the end of the input, or incrementally under cps_max_bucket).

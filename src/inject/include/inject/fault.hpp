@@ -43,9 +43,12 @@
 //
 // e.g. "rank_crash:2@reduce,pfs_error:0.01,mem_spike:8K@convert".
 // Phase names are the framework's hook names: map, aggregate, convert,
-// reduce, partial_reduce, checkpoint_save, checkpoint_load. Crash and
-// spike clauses fire on attempt 1 unless '#N' says otherwise, so a
-// retried job is not killed again by the same clause.
+// reduce, partial_reduce, checkpoint_save, checkpoint_load — plus, in
+// the overlapped shuffle, aggregate.initiate (right after the
+// non-blocking round is started) and aggregate.wait (right before the
+// in-flight round is waited on), for faults between initiate and wait.
+// Crash and spike clauses fire on attempt 1 unless '#N' says otherwise,
+// so a retried job is not killed again by the same clause.
 //
 // node_crash models a whole-node failure domain: every rank in the
 // ranks_per_node group of simulated node N dies at the trigger (the

@@ -6,6 +6,7 @@
 
 #include "check/checker.hpp"
 #include "check/race.hpp"
+#include "mutil/hash.hpp"
 #include "shared_state.hpp"
 #include "stats/registry.hpp"
 
@@ -526,6 +527,304 @@ GatherResult Communicator::gatherv(int root,
   }
   ++stats_.collectives;
   return result;
+}
+
+// --- non-blocking collectives ---------------------------------------------
+
+namespace {
+
+using detail::NbOp;
+
+std::string current_phase() {
+  const stats::Registry* reg = stats::current();
+  return reg != nullptr ? reg->phase_path() : std::string();
+}
+
+/// Handoff key for the initiate -> wait happens-before edge, salted
+/// with the shared-state identity so keys from different communicators
+/// (and from sched's (node, rank) keyspace) cannot collide.
+std::uint64_t nb_race_key(const SharedState& s, std::uint64_t key) {
+  return mutil::mix64(
+      reinterpret_cast<std::uintptr_t>(&s) ^ mutil::mix64(key));
+}
+
+/// Completion, run by the last initiator while holding s.mutex: verify
+/// fingerprints, move all data, publish results, wake waiters. May
+/// throw (verification mismatch, receive-buffer overflow) — the
+/// thrower unwinds, the runtime aborts the job, and blocked peers wake
+/// via the abort channel.
+void nb_complete_locked(SharedState& s, NbOp& op) {
+  if (s.checker != nullptr && !op.fps.empty()) {
+    s.checker->verify_collective(op.fps, s.check_ranks);
+  }
+  const auto n = static_cast<std::size_t>(s.nranks);
+  if (op.kind == NbOp::Kind::kAlltoallv) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      NbOp::Part& to = op.parts[dst];
+      std::uint64_t offset = 0;
+      for (std::size_t src = 0; src < n; ++src) {
+        const NbOp::Part& from = op.parts[src];
+        const std::uint64_t len = from.counts[dst];
+        if (offset + len > to.recv_cap) {
+          throw mutil::CommError(
+              "simmpi: ialltoallv recv buffer overflow: rank " +
+              std::to_string(dst) + " receives more than " +
+              std::to_string(to.recv_cap) + " bytes");
+        }
+        if (len != 0) {
+          std::memcpy(to.recv + offset,
+                      from.send + from.displs[dst], len);
+        }
+        op.recv_counts[dst][src] = len;
+        offset += len;
+      }
+      to.received = offset;
+    }
+  } else {
+    const Op red = static_cast<Op>(op.red_op);
+    std::uint64_t acc = op.parts[0].u64;
+    for (std::size_t i = 1; i < n; ++i) {
+      acc = reduce_op(acc, op.parts[i].u64, red);
+    }
+    op.reduced = acc;
+  }
+  double t = 0.0;
+  for (const NbOp::Part& part : op.parts) t = std::max(t, part.clock);
+  op.t_all = t;
+  op.complete = true;
+  s.cv.notify_all();
+}
+
+}  // namespace
+
+Request Communicator::ialltoallv(std::span<const std::byte> send,
+                                 std::span<const std::uint64_t> send_counts,
+                                 std::span<const std::uint64_t> send_displs,
+                                 std::span<std::byte> recv) {
+  auto& s = *shared_;
+  check_vector_sizes(s, send_counts.size(), send_displs.size(),
+                     "ialltoallv");
+  for (int i = 0; i < s.nranks; ++i) {
+    if (send_displs[i] + send_counts[i] > send.size()) {
+      check_local_error(
+          "ialltoallv-local-bounds",
+          "ialltoallv send region for peer " + std::to_string(i) + " ([" +
+              std::to_string(send_displs[i]) + ", " +
+              std::to_string(send_displs[i] + send_counts[i]) +
+              ")) exceeds the send buffer (" + std::to_string(send.size()) +
+              " bytes)");
+      throw mutil::CommError("simmpi: ialltoallv send region out of bounds");
+    }
+  }
+
+  const std::uint64_t key = ++nb_count_;
+  check::RaceDetector* race =
+      s.checker != nullptr ? s.checker->race() : nullptr;
+  if (race != nullptr) {
+    // Publish this rank's clock for the waiters to join at completion
+    // (initiate -> wait is the new happens-before edge; initiators are
+    // NOT ordered against each other), then freeze both buffers so any
+    // touch before wait() — including by this rank itself — is caught.
+    const int grank = check_global_rank();
+    race->handoff_publish(grank, nb_race_key(s, key));
+    race->nb_initiate(send.data(), grank, /*op_writes=*/false,
+                      "ialltoallv", clock_->now(), current_phase());
+    race->nb_initiate(recv.data(), grank, /*op_writes=*/true, "ialltoallv",
+                      clock_->now(), current_phase());
+  }
+
+  const std::uint64_t sent = std::accumulate(
+      send_counts.begin(), send_counts.end(), std::uint64_t{0});
+  {
+    std::unique_lock lock(s.mutex);
+    if (s.aborted) s.throw_aborted_locked();
+    NbOp& op = s.nb_ops[key];
+    if (op.parts.empty()) {
+      op.kind = NbOp::Kind::kAlltoallv;
+      op.parts.resize(static_cast<std::size_t>(s.nranks));
+      op.recv_counts.assign(
+          static_cast<std::size_t>(s.nranks),
+          std::vector<std::uint64_t>(static_cast<std::size_t>(s.nranks)));
+      if (s.checker != nullptr) {
+        op.fps.resize(static_cast<std::size_t>(s.nranks));
+      }
+    } else if (op.kind != NbOp::Kind::kAlltoallv) {
+      throw mutil::CommError(
+          "simmpi: non-blocking collective mismatch: this rank initiated "
+          "ialltoallv #" +
+          std::to_string(key) + " but a peer initiated iallreduce_u64");
+    }
+    NbOp::Part& part = op.parts[static_cast<std::size_t>(rank_)];
+    part.present = true;
+    part.send = send.data();
+    part.recv = recv.data();
+    part.recv_cap = recv.size();
+    part.counts.assign(send_counts.begin(), send_counts.end());
+    part.displs.assign(send_displs.begin(), send_displs.end());
+    part.clock = clock_->now();
+    part.sent = sent;
+    if (s.checker != nullptr) {
+      ++check_seq_;
+      check::CollectiveFingerprint& fp =
+          op.fps[static_cast<std::size_t>(rank_)];
+      fp.op = check::CollectiveOp::kIalltoallv;
+      fp.seq = check_seq_;
+      fp.width = 1;
+      fp.send_counts = part.counts.data();
+      fp.sim_time = part.clock;
+      fp.phase = current_phase();
+      if (race != nullptr) {
+        race->record_fingerprint(check_global_rank(), fp, s.nranks);
+      }
+    }
+    if (++op.arrived == s.nranks) nb_complete_locked(s, op);
+  }
+  ++stats_.collectives;
+  return Request(this, key, /*alltoallv=*/true, send.data(), recv.data());
+}
+
+Request Communicator::iallreduce_u64(std::uint64_t value, Op op_kind) {
+  auto& s = *shared_;
+  const std::uint64_t key = ++nb_count_;
+  check::RaceDetector* race =
+      s.checker != nullptr ? s.checker->race() : nullptr;
+  if (race != nullptr) {
+    race->handoff_publish(check_global_rank(), nb_race_key(s, key));
+  }
+  {
+    std::unique_lock lock(s.mutex);
+    if (s.aborted) s.throw_aborted_locked();
+    NbOp& op = s.nb_ops[key];
+    if (op.parts.empty()) {
+      op.kind = NbOp::Kind::kAllreduceU64;
+      op.red_op = static_cast<std::uint32_t>(op_kind);
+      op.parts.resize(static_cast<std::size_t>(s.nranks));
+      if (s.checker != nullptr) {
+        op.fps.resize(static_cast<std::size_t>(s.nranks));
+      }
+    } else if (op.kind != NbOp::Kind::kAllreduceU64) {
+      throw mutil::CommError(
+          "simmpi: non-blocking collective mismatch: this rank initiated "
+          "iallreduce_u64 #" +
+          std::to_string(key) + " but a peer initiated ialltoallv");
+    }
+    NbOp::Part& part = op.parts[static_cast<std::size_t>(rank_)];
+    part.present = true;
+    part.u64 = value;
+    part.clock = clock_->now();
+    if (s.checker != nullptr) {
+      ++check_seq_;
+      check::CollectiveFingerprint& fp =
+          op.fps[static_cast<std::size_t>(rank_)];
+      fp.op = check::CollectiveOp::kIallreduceU64;
+      fp.seq = check_seq_;
+      fp.width = 8;
+      fp.extra = static_cast<std::uint32_t>(op_kind);
+      fp.sim_time = part.clock;
+      fp.phase = current_phase();
+      if (race != nullptr) {
+        race->record_fingerprint(check_global_rank(), fp, s.nranks);
+      }
+    }
+    if (++op.arrived == s.nranks) nb_complete_locked(s, op);
+  }
+  ++stats_.collectives;
+  return Request(this, key, /*alltoallv=*/false, nullptr, nullptr);
+}
+
+bool Communicator::nb_test(std::uint64_t key) {
+  auto& s = *shared_;
+  const std::scoped_lock lock(s.mutex);
+  if (s.aborted) s.throw_aborted_locked();
+  const auto it = s.nb_ops.find(key);
+  return it == s.nb_ops.end() || it->second.complete;
+}
+
+void Communicator::nb_wait(Request& request) {
+  auto& s = *shared_;
+  bool alltoallv = false;
+  double t_init = 0.0;
+  double t_all = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  {
+    const check::BlockGuard guard(
+        s.checker, check_global_rank(),
+        check::BlockedState::Kind::kCollective,
+        request.alltoallv_ ? "ialltoallv.wait" : "iallreduce_u64.wait", -1,
+        request.key_, clock_->now());
+    std::unique_lock lock(s.mutex);
+    const auto it = s.nb_ops.find(request.key_);
+    if (it == s.nb_ops.end()) {
+      if (s.aborted) s.throw_aborted_locked();
+      throw mutil::CommError(
+          "simmpi: wait on an unknown non-blocking request");
+    }
+    NbOp& op = it->second;
+    s.cv.wait(lock, [&] { return op.complete || s.aborted; });
+    if (!op.complete) s.throw_aborted_locked();
+    const NbOp::Part& part = op.parts[static_cast<std::size_t>(rank_)];
+    alltoallv = op.kind == NbOp::Kind::kAlltoallv;
+    t_init = part.clock;
+    t_all = op.t_all;
+    if (alltoallv) {
+      request.recv_counts_ = op.recv_counts[static_cast<std::size_t>(rank_)];
+      request.sent_ = part.sent;
+      request.received_ = part.received;
+      sent = part.sent;
+      received = part.received;
+    } else {
+      request.value_ = op.reduced;
+    }
+    if (++op.waited == s.nranks) s.nb_ops.erase(it);
+  }
+
+  // Cost model: the op completes collective_latency + transfer after
+  // the *latest* initiation. Seconds this rank slept until then are
+  // blocked wait; seconds the op was in flight while the rank computed
+  // are overlap (hidden communication). An initiate-then-wait with no
+  // compute in between lands exactly on the blocking collective's time.
+  double cost = s.collective_latency();
+  if (alltoallv) {
+    cost += static_cast<double>(std::max(sent, received)) / s.net_bandwidth;
+  }
+  const double done_at = t_all + cost;
+  const double now = clock_->now();
+  note_wait(now, done_at);
+  if (stats::Registry* reg = stats::current()) {
+    reg->record_overlap(std::max(0.0, std::min(now, done_at) - t_init));
+  }
+  clock_->set(std::max(now, done_at));
+
+  if (s.checker != nullptr) {
+    if (check::RaceDetector* race = s.checker->race()) {
+      const int grank = check_global_rank();
+      // Join every initiator's published clock: the happens-before edge
+      // lands at completion, not initiation.
+      race->handoff_acquire(grank, nb_race_key(s, request.key_));
+      if (request.send_base_ != nullptr) {
+        race->nb_complete(request.send_base_, grank, clock_->now(),
+                          current_phase());
+      }
+      if (request.recv_base_ != nullptr) {
+        race->nb_complete(request.recv_base_, grank, clock_->now(),
+                          current_phase());
+      }
+    }
+  }
+  stats_.bytes_sent += sent;
+  stats_.bytes_received += received;
+}
+
+bool Request::test() {
+  if (comm_ == nullptr || waited_) return true;
+  return comm_->nb_test(key_);
+}
+
+void Request::wait() {
+  if (comm_ == nullptr || waited_) return;
+  comm_->nb_wait(*this);
+  waited_ = true;
 }
 
 void Communicator::send(int dest, int tag,

@@ -19,6 +19,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simtime/clock.hpp"
@@ -48,6 +49,83 @@ struct CommStats {
   std::uint64_t bytes_sent = 0;      ///< alltoallv + p2p payload out
   std::uint64_t bytes_received = 0;  ///< alltoallv + p2p payload in
   std::uint64_t collectives = 0;     ///< collective operations entered
+};
+
+class Communicator;
+
+/// Handle for an in-flight non-blocking collective (ialltoallv /
+/// iallreduce_u64). Move-only; owned by the initiating rank thread.
+/// The buffers passed at initiation belong to the operation until
+/// wait() returns — the race detector reports any touch in between.
+/// Destroying an un-waited Request detaches: the operation still
+/// completes for the peers (its shared entry is reclaimed when the
+/// job's shared state dies), but this rank never learns the result.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& other) noexcept { *this = std::move(other); }
+  Request& operator=(Request&& other) noexcept {
+    comm_ = other.comm_;
+    key_ = other.key_;
+    alltoallv_ = other.alltoallv_;
+    waited_ = other.waited_;
+    send_base_ = other.send_base_;
+    recv_base_ = other.recv_base_;
+    recv_counts_ = std::move(other.recv_counts_);
+    sent_ = other.sent_;
+    received_ = other.received_;
+    value_ = other.value_;
+    other.comm_ = nullptr;
+    return *this;
+  }
+  ~Request() = default;
+
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  bool valid() const noexcept { return comm_ != nullptr; }
+  bool done() const noexcept { return waited_; }
+
+  /// True when the operation has completed (every rank has initiated
+  /// it). Never blocks and never advances the simulated clock.
+  bool test();
+
+  /// Block until completion, charge the overlap-aware cost model
+  /// (blocked seconds count as wait, in-flight seconds spent computing
+  /// count as overlap), and make the results available. Idempotent.
+  void wait();
+
+  /// ialltoallv: bytes received from each source rank. Valid after
+  /// wait(); the payload lands contiguously in source-rank order at
+  /// the start of the receive buffer.
+  const std::vector<std::uint64_t>& recv_counts() const noexcept {
+    return recv_counts_;
+  }
+  std::uint64_t bytes_received() const noexcept { return received_; }
+  std::uint64_t bytes_sent() const noexcept { return sent_; }
+  /// iallreduce_u64: the reduction result. Valid after wait().
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class Communicator;
+  Request(Communicator* comm, std::uint64_t key, bool alltoallv,
+          const void* send_base, const void* recv_base) noexcept
+      : comm_(comm),
+        key_(key),
+        alltoallv_(alltoallv),
+        send_base_(send_base),
+        recv_base_(recv_base) {}
+
+  Communicator* comm_ = nullptr;
+  std::uint64_t key_ = 0;
+  bool alltoallv_ = false;
+  bool waited_ = false;
+  const void* send_base_ = nullptr;  ///< for the race-detector thaw
+  const void* recv_base_ = nullptr;
+  std::vector<std::uint64_t> recv_counts_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t value_ = 0;
 };
 
 /// One rank's endpoint. Each rank thread owns exactly one Communicator;
@@ -108,6 +186,31 @@ class Communicator {
   /// Gather variable-length payloads at `root`.
   GatherResult gatherv(int root, std::span<const std::byte> payload);
 
+  // --- Non-blocking collectives ----------------------------------------
+  //
+  // Initiations are collective calls too: all ranks must initiate the
+  // same non-blocking operations in the same order relative to every
+  // other collective. Initiation never blocks and charges nothing; the
+  // full alpha-beta cost lands at wait(), measured from the *latest*
+  // initiation — so a rank that keeps computing between initiate and
+  // wait genuinely hides communication time (the hidden seconds are
+  // attributed as "overlap" in the stats registry, blocked seconds as
+  // "wait"). An immediate wait reproduces the blocking cost exactly.
+
+  /// Non-blocking byte-counted all-to-all. Unlike the blocking
+  /// alltoallv, receive counts are not an argument: they are discovered
+  /// at completion (Request::recv_counts), and the payload lands
+  /// contiguously in source-rank order at the start of `recv`, which
+  /// must be large enough for whatever the peers send. The send and
+  /// recv buffers belong to the operation until wait() returns.
+  Request ialltoallv(std::span<const std::byte> send,
+                     std::span<const std::uint64_t> send_counts,
+                     std::span<const std::uint64_t> send_displs,
+                     std::span<std::byte> recv);
+
+  /// Non-blocking u64 allreduce; the result is Request::value().
+  Request iallreduce_u64(std::uint64_t value, Op op);
+
   // --- Point-to-point ---------------------------------------------------
 
   /// Blocking, buffered send (copies the payload).
@@ -122,9 +225,14 @@ class Communicator {
 
  private:
   friend struct detail::SharedState;
+  friend class Request;
 
   Communicator(std::shared_ptr<detail::SharedState> shared, int rank,
                simtime::Clock* borrowed_clock);
+
+  // Non-blocking machinery backing Request.
+  bool nb_test(std::uint64_t key);
+  void nb_wait(Request& request);
 
   // mimir-check hooks; all no-ops when the job's checker is null.
   bool checking() const noexcept;
@@ -160,6 +268,7 @@ class Communicator {
   simtime::Clock* clock_ = &own_clock_;
   CommStats stats_;
   std::uint64_t check_seq_ = 0;  ///< per-rank collective sequence number
+  std::uint64_t nb_count_ = 0;   ///< non-blocking initiations (op key)
 };
 
 }  // namespace simmpi

@@ -63,6 +63,49 @@ struct Mailbox {
   std::deque<Message> messages;
 };
 
+/// One in-flight non-blocking collective (ialltoallv / iallreduce_u64).
+/// Keyed by the per-rank initiation counter: non-blocking collectives
+/// are collective in *initiation order*, so every rank's Nth initiate
+/// joins op N. Guarded by SharedState::mutex; completion (the last
+/// initiator copies all data while holding the lock) is signaled on
+/// SharedState::cv. Count/displacement arrays are copied in at initiate
+/// because the caller's vectors may die before the op completes.
+struct NbOp {
+  enum class Kind { kAlltoallv, kAllreduceU64 };
+
+  /// One rank's published arguments.
+  struct Part {
+    bool present = false;
+    const std::byte* send = nullptr;
+    std::byte* recv = nullptr;
+    std::uint64_t recv_cap = 0;
+    std::vector<std::uint64_t> counts;
+    std::vector<std::uint64_t> displs;
+    std::uint64_t u64 = 0;
+    double clock = 0.0;  ///< initiator's sim time at initiate
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+  };
+
+  Kind kind = Kind::kAlltoallv;
+  std::uint32_t red_op = 0;  ///< reduction operator (iallreduce)
+  int arrived = 0;           ///< initiations so far
+  int waited = 0;            ///< completed waits; erase at nranks
+  bool complete = false;
+  double t_all = 0.0;        ///< max initiation clock across ranks
+  std::uint64_t reduced = 0; ///< iallreduce result
+  std::vector<Part> parts;
+  /// Filled by the completing initiator: recv_counts[dst][src] bytes.
+  /// Receive counts are *discovered* at completion — ialltoallv takes
+  /// no recv-count argument, which is what lets the overlapped shuffle
+  /// skip the blocking alltoall_u64 count pre-exchange.
+  std::vector<std::vector<std::uint64_t>> recv_counts;
+  /// Per-op fingerprint storage: the shared check_fps slots may be
+  /// overwritten by a later blocking collective before this op's last
+  /// initiator verifies, so non-blocking ops keep their own copies.
+  std::vector<check::CollectiveFingerprint> fps;
+};
+
 struct SharedState {
   SharedState(int num_ranks, double latency, double bandwidth)
       : nranks(num_ranks),
@@ -102,6 +145,13 @@ struct SharedState {
 
   std::vector<Slot> slots;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // In-flight non-blocking collectives, keyed by initiation count.
+  // Guarded by `mutex`; waiters sleep on `cv` (abort() already wakes
+  // it, so a rank blocked in Request::wait unwinds on job abort like
+  // any barrier waiter). An abandoned Request leaves its entry here
+  // until every rank has waited or the job's SharedState dies.
+  std::map<std::uint64_t, NbOp> nb_ops;
 
   // mimir-check hooks. `checker` is null when checking is off (the
   // common case); set once by simmpi::run before rank threads start, or

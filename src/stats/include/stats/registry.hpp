@@ -55,6 +55,11 @@ struct PhaseRecord {
   /// while the phase was open (always <= seconds(): a collective that
   /// makes a rank wait also advances its clock at least that far).
   double wait = 0.0;
+  /// Simulated seconds of communication this rank *hid* under compute
+  /// while the phase was open: for each non-blocking collective, the
+  /// in-flight time between initiation and the earlier of completion
+  /// and wait(). Zero for purely blocking runs.
+  double overlap = 0.0;
 
   double seconds() const noexcept { return end - begin; }
   double compute_seconds() const noexcept { return end - begin - wait; }
@@ -137,6 +142,11 @@ class Registry {
   /// `seconds` of simulated time. Attributed to every open phase and to
   /// the rank total; `seconds <= 0` records nothing.
   void record_wait(double seconds);
+  /// A non-blocking collective this rank waited on had been in flight
+  /// for `seconds` of simulated time while the rank kept computing
+  /// (communication hidden under compute). Attribution mirrors
+  /// record_wait; `seconds <= 0` records nothing.
+  void record_overlap(double seconds);
   /// Snapshot the bound Tracker's totals and per-tag breakdown into
   /// memory(). Must run on the rank thread while the tracker is alive.
   void capture_memory();
@@ -164,6 +174,12 @@ class Registry {
   const std::vector<WaitRecord>& waits() const noexcept { return waits_; }
   /// Total simulated seconds this rank spent blocked.
   double wait_total() const noexcept { return wait_total_; }
+  /// Hidden-communication intervals in completion order.
+  const std::vector<WaitRecord>& overlaps() const noexcept {
+    return overlaps_;
+  }
+  /// Total simulated seconds of communication hidden under compute.
+  double overlap_total() const noexcept { return overlap_total_; }
   /// The memory snapshot taken by capture_memory() (default-constructed
   /// with captured == false if never taken).
   const MemorySnapshot& memory() const noexcept { return memory_; }
@@ -175,6 +191,7 @@ class Registry {
     std::uint64_t mem_begin = 0;
     std::uint64_t peak_at_begin = 0;
     double wait_at_begin = 0.0;
+    double overlap_at_begin = 0.0;
   };
 
   PhaseRecord close_top();
@@ -196,6 +213,8 @@ class Registry {
   std::vector<std::uint64_t> traffic_;
   std::vector<WaitRecord> waits_;
   double wait_total_ = 0.0;
+  std::vector<WaitRecord> overlaps_;
+  double overlap_total_ = 0.0;
   MemorySnapshot memory_;
 };
 

@@ -31,12 +31,18 @@ namespace stats {
 struct PhaseAttr {
   double wait_seconds = 0.0;     ///< max over ranks of in-phase wait
   double compute_seconds = 0.0;  ///< max over ranks of (total - wait)
+  /// Max over ranks of in-phase hidden communication (non-blocking
+  /// collectives in flight while the rank computed). Not part of the
+  /// compute/wait split — overlapped seconds are compute seconds that
+  /// *also* moved bytes.
+  double overlap_seconds = 0.0;
   /// Load imbalance of the compute share: max over mean (1.0 means
   /// perfectly balanced or no compute at all).
   double imbalance = 1.0;
   int straggler = -1;  ///< rank with the largest compute share
   std::vector<double> per_rank_compute;
   std::vector<double> per_rank_wait;
+  std::vector<double> per_rank_overlap;
 };
 
 /// Per-component memory usage aggregated across ranks.
@@ -65,6 +71,11 @@ struct Summary {
   /// summed (rank-seconds, so the sum can exceed the job time).
   std::vector<double> wait_per_rank;
   double wait_total = 0.0;
+  /// Simulated seconds of communication hidden under compute by
+  /// non-blocking collectives, per rank and summed. Zero for blocking
+  /// runs.
+  std::vector<double> overlap_per_rank;
+  double overlap_total = 0.0;
   /// Tagged memory attribution from the per-rank capture_memory()
   /// snapshots. The component currents sum to memory_current_total;
   /// every component peak is <= memory_peak_max.

@@ -52,6 +52,7 @@ void Registry::phase_begin(std::string_view name) {
   open.mem_begin = mem_current();
   open.peak_at_begin = mem_peak();
   open.wait_at_begin = wait_total_;
+  open.overlap_at_begin = overlap_total_;
   open_.push_back(std::move(open));
 }
 
@@ -74,6 +75,7 @@ PhaseRecord Registry::close_top() {
                         ? peak_now
                         : std::max(record.mem_begin, record.mem_end);
   record.wait = wait_total_ - open.wait_at_begin;
+  record.overlap = overlap_total_ - open.overlap_at_begin;
   return record;
 }
 
@@ -151,6 +153,12 @@ void Registry::record_wait(double seconds) {
   if (seconds <= 0.0) return;
   wait_total_ += seconds;
   waits_.push_back({now(), seconds});
+}
+
+void Registry::record_overlap(double seconds) {
+  if (seconds <= 0.0) return;
+  overlap_total_ += seconds;
+  overlaps_.push_back({now(), seconds});
 }
 
 void Registry::capture_memory() {

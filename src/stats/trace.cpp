@@ -76,12 +76,15 @@ std::string Summary::json() const {
       const PhaseAttr& a = attr->second;
       append_kv_f64(out, "wait_seconds", a.wait_seconds, &inner);
       append_kv_f64(out, "compute_seconds", a.compute_seconds, &inner);
+      append_kv_f64(out, "overlap_seconds", a.overlap_seconds, &inner);
       append_kv_f64(out, "imbalance", a.imbalance, &inner);
       out += ",\"straggler\":" + std::to_string(a.straggler);
       out += ",\"per_rank_compute\":";
       append_f64_array(out, a.per_rank_compute);
       out += ",\"per_rank_wait\":";
       append_f64_array(out, a.per_rank_wait);
+      out += ",\"per_rank_overlap\":";
+      append_f64_array(out, a.per_rank_overlap);
     }
     out += "}";
   }
@@ -109,6 +112,13 @@ std::string Summary::json() const {
   }
   out += ",\"per_rank\":";
   append_f64_array(out, wait_per_rank);
+  out += "},\"overlap\":{";
+  {
+    bool inner = true;
+    append_kv_f64(out, "total_seconds", overlap_total, &inner);
+  }
+  out += ",\"per_rank\":";
+  append_f64_array(out, overlap_per_rank);
   out += "},\"memory\":{";
   {
     bool inner = true;
@@ -150,11 +160,13 @@ Summary Collector::summary() const {
   const std::size_t n = registries_.size();
   out.traffic.assign(n, std::vector<std::uint64_t>(n, 0));
   out.wait_per_rank.assign(n, 0.0);
+  out.overlap_per_rank.assign(n, 0.0);
   out.sections = sections_;
   // Per-rank totals per phase name, folded into the cross-rank max and
   // into the per-phase attribution arrays.
   std::vector<std::map<std::string, double, std::less<>>> totals(n);
   std::vector<std::map<std::string, double, std::less<>>> waits(n);
+  std::vector<std::map<std::string, double, std::less<>>> overlaps(n);
   for (std::size_t r = 0; r < n; ++r) {
     const Registry& reg = registries_[r];
     for (const auto& [name, value] : reg.counters()) {
@@ -166,6 +178,7 @@ Summary Collector::summary() const {
     for (const PhaseRecord& phase : reg.phases()) {
       totals[r][phase.name] += phase.seconds();
       waits[r][phase.name] += phase.wait;
+      overlaps[r][phase.name] += phase.overlap;
       auto& peak = out.phase_mem_peak[phase.name];
       peak = std::max(peak, phase.mem_peak);
     }
@@ -179,6 +192,8 @@ Summary Collector::summary() const {
     }
     out.wait_per_rank[r] = reg.wait_total();
     out.wait_total += reg.wait_total();
+    out.overlap_per_rank[r] = reg.overlap_total();
+    out.overlap_total += reg.overlap_total();
     // Tagged memory: components sum rank currents; peaks are the max
     // over ranks of each tag's (and the rank's) high-water.
     const MemorySnapshot& mem = reg.memory();
@@ -199,6 +214,7 @@ Summary Collector::summary() const {
     PhaseAttr attr;
     attr.per_rank_compute.assign(n, 0.0);
     attr.per_rank_wait.assign(n, 0.0);
+    attr.per_rank_overlap.assign(n, 0.0);
     double sum = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
       const auto total_it = totals[r].find(name);
@@ -206,10 +222,15 @@ Summary Collector::summary() const {
           total_it == totals[r].end() ? 0.0 : total_it->second;
       const auto wait_it = waits[r].find(name);
       const double wait = wait_it == waits[r].end() ? 0.0 : wait_it->second;
+      const auto overlap_it = overlaps[r].find(name);
+      const double overlap =
+          overlap_it == overlaps[r].end() ? 0.0 : overlap_it->second;
       const double compute = total - wait;
       attr.per_rank_compute[r] = compute;
       attr.per_rank_wait[r] = wait;
+      attr.per_rank_overlap[r] = overlap;
       attr.wait_seconds = std::max(attr.wait_seconds, wait);
+      attr.overlap_seconds = std::max(attr.overlap_seconds, overlap);
       sum += compute;
       if (compute > attr.compute_seconds || attr.straggler < 0) {
         attr.compute_seconds = std::max(compute, 0.0);
@@ -281,6 +302,18 @@ void TraceWriter::add_run(const Collector& collector,
                     "\"wait.rank%d\",\"ts\":%.6f,\"args\":{\"seconds\":"
                     "%.9g}}",
                     pid, r, r, wait.time * kMicros, cumulative);
+      event(buf);
+    }
+    // And a cumulative hidden-communication track: how many seconds of
+    // collective time non-blocking overlap kept off the critical path.
+    double hidden = 0.0;
+    for (const WaitRecord& overlap : reg.overlaps()) {
+      hidden += overlap.seconds;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"name\":"
+                    "\"overlap.rank%d\",\"ts\":%.6f,\"args\":{\"seconds\":"
+                    "%.9g}}",
+                    pid, r, r, overlap.time * kMicros, hidden);
       event(buf);
     }
   }

@@ -74,6 +74,34 @@ INSTANTIATE_TEST_SUITE_P(
                       PrCase{true, false, true, 3, "mrmpi_cps"}),
     [](const auto& param_info) { return param_info.param.name; });
 
+TEST(PageRank, OverlappedShuffleIsBitIdentical) {
+  // Floating-point makes bit-identity the strictest possible check:
+  // the overlapped shuffle delivers the same bytes in the same order,
+  // so every double comes out of an identical reduction sequence and
+  // exact == must hold between the two modes.
+  RunOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 8;
+  opts.iterations = 6;
+  opts.page_size = 32 << 10;
+  opts.comm_buffer = 4 << 10;
+
+  auto machine = simtime::MachineProfile::test_profile();
+  pfs::FileSystem fs(machine, 4);
+  apps::pr::Result results[2];
+  for (const bool overlap : {false, true}) {
+    opts.overlap = overlap;
+    simmpi::run(4, machine, fs, [&](simmpi::Context& ctx) {
+      const auto result = apps::pr::run_mimir(ctx, opts);
+      if (ctx.rank() == 0) results[overlap ? 1 : 0] = result;
+    });
+  }
+  EXPECT_EQ(results[0].total_rank, results[1].total_rank);
+  EXPECT_EQ(results[0].max_rank, results[1].max_rank);
+  EXPECT_EQ(results[0].max_vertex, results[1].max_vertex);
+  EXPECT_EQ(results[0].last_delta, results[1].last_delta);
+}
+
 TEST(PageRank, PerVertexValuesMatchReference) {
   RunOptions opts;
   opts.scale = 7;

@@ -141,6 +141,43 @@ INSTANTIATE_TEST_SUITE_P(
                       WcCase{true, false, false, true, "mrmpi_cps"}),
     [](const auto& param_info) { return param_info.param.name; });
 
+TEST(WcOverlap, OverlappedShuffleIsBitIdentical) {
+  // The overlapped (double-buffered, non-blocking) shuffle must change
+  // only the timing model, never the answer: same totals, same checksum,
+  // both equal to the serial reference. Zipf input keeps the partitions
+  // skewed and the small comm buffer forces many exchange rounds.
+  constexpr int kRanks = 4;
+  auto machine = test_machine();
+  pfs::FileSystem fs(machine, kRanks);
+  GenOptions gen;
+  gen.total_bytes = 96 << 10;
+  gen.num_files = kRanks;
+  const auto files = apps::wc::generate_wikipedia(fs, "wc_ov", gen);
+
+  std::uint64_t ref_total = 0, ref_unique = 0;
+  const std::uint64_t ref_checksum =
+      reference_checksum(fs, files, &ref_total, &ref_unique);
+
+  apps::wc::Result results[2];
+  for (const bool overlap : {false, true}) {
+    simmpi::run(kRanks, machine, fs, [&](simmpi::Context& ctx) {
+      RunOptions opts;
+      opts.files = files;
+      opts.page_size = 64 << 10;
+      opts.comm_buffer = 4 << 10;
+      opts.overlap = overlap;
+      const auto result = apps::wc::run_mimir(ctx, opts);
+      if (ctx.rank() == 0) results[overlap ? 1 : 0] = result;
+    });
+  }
+  EXPECT_EQ(results[0].total_words, results[1].total_words);
+  EXPECT_EQ(results[0].unique_words, results[1].unique_words);
+  EXPECT_EQ(results[0].checksum, results[1].checksum);
+  EXPECT_EQ(results[1].total_words, ref_total);
+  EXPECT_EQ(results[1].unique_words, ref_unique);
+  EXPECT_EQ(results[1].checksum, ref_checksum);
+}
+
 TEST(WcMemory, MimirUsesLessPeakMemoryThanMrMpiInMemory) {
   // The paper's claim is about *in-memory* executions: when the dataset
   // fits MR-MPI's pages, MR-MPI still pays for all statically allocated

@@ -20,6 +20,7 @@
 
 #include "check/checker.hpp"
 #include "inject/fault.hpp"
+#include "memtrack/tracker.hpp"
 #include "mimir/job.hpp"
 #include "mutil/config.hpp"
 #include "sched/scheduler.hpp"
@@ -584,6 +585,146 @@ TEST(RaceDeterminism, DigestIsEmptyWithoutTheDetector) {
       2, [](Context& ctx) { ctx.comm.barrier(); }, nullptr, &checker);
   EXPECT_EQ(checker.race(), nullptr);
   EXPECT_TRUE(check::determinism_digest(checker).empty());
+}
+
+// --- non-blocking collectives: frozen regions and the completion edge ----
+
+// The buffers passed to ialltoallv belong to the operation between
+// initiate and wait. The FastTrack epoch rule cannot catch a rank
+// touching its *own* in-flight buffer (its clock always dominates its
+// own epochs), so the detector freezes the region instead and reports
+// any touch while frozen.
+TEST(RaceNbFreeze, WriteAfterInitiateIsReportedAndThawedByCompletion) {
+  Report report;
+  RaceDetector det(report);
+  det.reset(2);
+  int region = 0;
+  det.region_register(&region, sizeof(region), "nb.send");
+
+  det.access(&region, 0, /*write=*/true, 1.0, "map");
+  det.nb_initiate(&region, 0, /*op_writes=*/false, "ialltoallv", 2.0,
+                  "map");
+  det.access(&region, 0, /*write=*/true, 3.0, "map/aggregate");
+  ASSERT_EQ(report.count("write-after-initiate"), 1u);
+  const Diagnostic d = report.first("write-after-initiate");
+  EXPECT_NE(d.message.find("'nb.send'"), std::string::npos);
+  EXPECT_NE(d.message.find("ialltoallv"), std::string::npos);
+  EXPECT_EQ(det.races(), 1u);
+
+  // Completion thaws: the same write afterwards is clean.
+  det.nb_complete(&region, 0, 4.0, "map");
+  det.access(&region, 0, /*write=*/true, 5.0, "map");
+  EXPECT_EQ(det.races(), 1u);
+}
+
+TEST(RaceNbFreeze, ReadOfInFlightSendBufferIsAllowed) {
+  // The op only *reads* a send buffer, so a concurrent read is fine;
+  // a receive buffer the op writes must not even be read.
+  Report report;
+  RaceDetector det(report);
+  det.reset(1);
+  int send = 0;
+  int recv = 0;
+  det.region_register(&send, sizeof(send), "nb.send");
+  det.region_register(&recv, sizeof(recv), "nb.recv");
+
+  det.nb_initiate(&send, 0, /*op_writes=*/false, "ialltoallv", 1.0, "map");
+  det.nb_initiate(&recv, 0, /*op_writes=*/true, "ialltoallv", 1.0, "map");
+  det.access(&send, 0, /*write=*/false, 2.0, "map");
+  EXPECT_TRUE(report.empty()) << report.text();
+  det.access(&recv, 0, /*write=*/false, 2.0, "map");
+  ASSERT_EQ(report.count("read-after-initiate"), 1u);
+  EXPECT_EQ(det.races(), 1u);
+}
+
+TEST(RaceNb, WriteToInFlightSendBufferIsCaughtThroughRealRanks) {
+  Report report;
+  JobChecker checker(report, race_config());
+  simmpi::run_test(
+      2,
+      [](Context& ctx) {
+        // TrackedBuffers register with the detector through the
+        // lifecycle auditor's page hooks.
+        memtrack::TrackedBuffer send(ctx.tracker, 16);
+        memtrack::TrackedBuffer recv(ctx.tracker, 16);
+        const std::vector<std::uint64_t> counts{8, 8}, displs{0, 8};
+        simmpi::Request req =
+            ctx.comm.ialltoallv(send.span(), counts, displs, recv.span());
+        // Buggy: overwrite the buffer the in-flight exchange still owns.
+        check::race_note_access(send.data(), /*write=*/true);
+        req.wait();
+      },
+      nullptr, &checker);
+  EXPECT_EQ(report.count("write-after-initiate"), 2u) << report.text();
+}
+
+TEST(RaceNb, WaiterIsOrderedAfterEveryInitiator) {
+  // The happens-before edge lands at wait(), joining every initiator's
+  // published clock: what rank 1 wrote before initiating is visible —
+  // race-free — to rank 0 after its wait returns.
+  Report report;
+  JobChecker checker(report, race_config());
+  check::Shared<std::uint64_t> value("nb.handoff");
+  simmpi::run_test(
+      2,
+      [&](Context& ctx) {
+        if (ctx.rank() == 1) value.write(5);
+        simmpi::Request req = ctx.comm.iallreduce_u64(1, simmpi::Op::kSum);
+        req.wait();
+        if (ctx.rank() == 0) {
+          EXPECT_EQ(value.read(), 5u);
+        }
+      },
+      nullptr, &checker);
+  EXPECT_TRUE(report.empty()) << report.text();
+}
+
+TEST(RaceNb, OverlappedShuffleIsRaceFreeAndBitIdentical) {
+  // The double-buffered shuffle must be clean under the detector, and
+  // the per-rank intermediate KV sequence must be byte-identical with
+  // overlap on or off (the bit-identity acceptance criterion, enforced
+  // here under the race detector as well).
+  auto run_once = [](bool overlap, check::JobChecker* checker) {
+    auto per_rank =
+        std::make_shared<std::vector<std::vector<std::string>>>(4);
+    mimir::JobConfig cfg;
+    cfg.page_size = 1 << 10;
+    cfg.comm_buffer = 256;
+    cfg.overlap = overlap;
+    simmpi::run_test(
+        4,
+        [&](Context& ctx) {
+          mimir::Job job(ctx, cfg);
+          job.map_custom([&](mimir::Emitter& out) {
+            for (int i = 0; i < 300; ++i) {
+              const int k = (ctx.rank() * 300 + i) % 37;
+              out.emit("key" + std::to_string(k),
+                       "value" + std::to_string(i));
+            }
+          });
+          auto& mine = (*per_rank)[static_cast<std::size_t>(ctx.rank())];
+          job.intermediate().scan([&](const mimir::KVView& kv) {
+            mine.push_back(std::string(kv.key) + "=" +
+                           std::string(kv.value));
+          });
+        },
+        nullptr, checker);
+    return *per_rank;
+  };
+
+  const auto blocking_plain = run_once(false, nullptr);
+  Report report;
+  JobChecker checker(report, race_config());
+  const auto overlapped_checked = run_once(true, &checker);
+  EXPECT_TRUE(report.empty()) << report.text();
+  EXPECT_EQ(checker.race()->races(), 0u);
+  EXPECT_EQ(blocking_plain, overlapped_checked);
+
+  Report report2;
+  JobChecker checker2(report2, race_config());
+  const auto blocking_checked = run_once(false, &checker2);
+  EXPECT_TRUE(report2.empty()) << report2.text();
+  EXPECT_EQ(blocking_plain, blocking_checked);
 }
 
 // --- enablement -----------------------------------------------------------

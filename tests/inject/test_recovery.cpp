@@ -332,6 +332,46 @@ TEST(Recovery, MemSpikeOverNodeBudgetRecoversOnRetry) {
   EXPECT_EQ(sink.merged().size(), 59u);
 }
 
+TEST(Recovery, OverlappedShuffleCrashBetweenInitiateAndWait) {
+  // The overlapped shuffle opens a window where a round is in flight:
+  // after aggregate.initiate and before aggregate.wait. A rank dying in
+  // that window leaves peers blocked in a non-blocking wait that can
+  // never complete; the abort channel must wake them so the attempt
+  // unwinds cleanly, and the retry must reproduce the undisturbed
+  // output exactly.
+  const auto machine = profile_with_io();
+
+  JobConfig cfg;
+  cfg.page_size = 1 << 10;
+  cfg.comm_buffer = 1 << 10;  // many rounds -> the window opens often
+  cfg.overlap = true;
+
+  OutputSink expected;
+  {
+    pfs::FileSystem fs(machine, kRanks);
+    (void)mimir::run_with_recovery(kRanks, machine, fs,
+                                   make_job(expected, cfg, false, false));
+  }
+  ASSERT_EQ(expected.merged().size(), 59u);
+
+  for (const char* phase : {"aggregate.initiate", "aggregate.wait"}) {
+    SCOPED_TRACE(phase);
+    const FaultPlan plan =
+        FaultPlan::parse(std::string("rank_crash:1@") + phase);
+    pfs::FileSystem fs(machine, kRanks);
+    OutputSink sink;
+    const RecoveryOutcome out = mimir::run_with_recovery(
+        kRanks, machine, fs, make_job(sink, cfg, false, false), {},
+        &plan);
+    EXPECT_EQ(out.attempts, 2);
+    ASSERT_EQ(out.history.size(), 2u);
+    EXPECT_FALSE(out.history[0].ok);
+    EXPECT_EQ(out.history[0].failed_rank, 1);
+    EXPECT_TRUE(out.history[1].ok);
+    EXPECT_EQ(sink.merged(), expected.merged());
+  }
+}
+
 // The property test: kill rank 1 at every phase boundary in turn; the
 // recovered output must be identical to the undisturbed run — across
 // the baseline, partial-reduce, KV-compression, and KV-hint configs.

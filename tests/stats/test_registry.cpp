@@ -143,6 +143,39 @@ TEST(Registry, WaitRecordsAccumulateAndAttributeToPhases) {
   EXPECT_DOUBLE_EQ(reg.phases()[1].compute_seconds(), 1.0);
 }
 
+TEST(Registry, OverlapRecordsAccumulateAndAttributeToPhases) {
+  // Overlap (communication hidden behind compute by a non-blocking
+  // collective) is tracked like wait but in its own ledger: per-phase
+  // attribution, zero/negative records ignored.
+  Clock clock;
+  Registry reg;
+  reg.bind(0, 1, &clock, nullptr);
+
+  reg.phase_begin("overlapped-shuffle");
+  clock.advance(2.0);
+  reg.record_overlap(0.75);
+  reg.record_overlap(0.25);
+  reg.record_overlap(0.0);   // ignored: nothing was hidden
+  reg.record_overlap(-1.0);  // ignored: defensive against clock skew
+  reg.phase_end();
+
+  reg.phase_begin("blocking");
+  clock.advance(1.0);
+  reg.record_wait(0.5);
+  reg.phase_end();
+
+  EXPECT_DOUBLE_EQ(reg.overlap_total(), 1.0);
+  ASSERT_EQ(reg.overlaps().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.overlaps()[0].seconds, 0.75);
+  ASSERT_EQ(reg.phases().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.phases()[0].overlap, 1.0);
+  EXPECT_DOUBLE_EQ(reg.phases()[0].wait, 0.0);
+  EXPECT_DOUBLE_EQ(reg.phases()[1].overlap, 0.0);
+  EXPECT_DOUBLE_EQ(reg.phases()[1].wait, 0.5);
+  // Overlap is hidden time, not blocked time: wait stays separate.
+  EXPECT_DOUBLE_EQ(reg.wait_total(), 0.5);
+}
+
 TEST(Registry, CountersAreMonotonic) {
   Registry reg;
   reg.bind(0, 1, nullptr, nullptr);

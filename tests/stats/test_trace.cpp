@@ -201,6 +201,82 @@ TEST(TraceWriter, EmitsOneCumulativeWaitCounterTrackPerRank) {
   }
 }
 
+/// Two ranks; rank 1 hides 0.5s of communication behind compute in its
+/// map phase (the overlapped shuffle's attribution path).
+struct OverlapSample {
+  std::vector<simtime::Clock> clocks = std::vector<simtime::Clock>(2);
+  Collector collector;
+
+  OverlapSample() {
+    collector.reset(2);
+    for (int r = 0; r < 2; ++r) {
+      simtime::Clock& clock = clocks[static_cast<std::size_t>(r)];
+      auto& reg = collector.rank(r);
+      reg.bind(r, 2, &clock, nullptr);
+      reg.phase_begin("map");
+      clock.advance(2.0);
+      if (r == 1) {
+        reg.record_overlap(0.3);
+        reg.record_overlap(0.2);
+      }
+      reg.record_wait(0.25);
+      reg.phase_end();
+    }
+  }
+};
+
+TEST(Summary, AttributesOverlapSeparatelyFromWait) {
+  const OverlapSample sample;
+  const auto summary = sample.collector.summary();
+
+  EXPECT_DOUBLE_EQ(summary.overlap_total, 0.5);
+  ASSERT_EQ(summary.overlap_per_rank.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary.overlap_per_rank[0], 0.0);
+  EXPECT_DOUBLE_EQ(summary.overlap_per_rank[1], 0.5);
+  // Hidden time never leaks into blocked time.
+  EXPECT_DOUBLE_EQ(summary.wait_total, 0.5);
+
+  const stats::PhaseAttr& map = summary.phase_attr.at("map");
+  EXPECT_DOUBLE_EQ(map.overlap_seconds, 0.5);
+  ASSERT_EQ(map.per_rank_overlap.size(), 2u);
+  EXPECT_DOUBLE_EQ(map.per_rank_overlap[0], 0.0);
+  EXPECT_DOUBLE_EQ(map.per_rank_overlap[1], 0.5);
+  EXPECT_DOUBLE_EQ(map.wait_seconds, 0.25);
+
+  const Value doc = parse(summary.json());
+  EXPECT_DOUBLE_EQ(doc.at("overlap").at("total_seconds").number, 0.5);
+  ASSERT_EQ(doc.at("overlap").at("per_rank").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("overlap").at("per_rank").array[1].number, 0.5);
+  const Value& map_json = doc.at("phases").at("map");
+  EXPECT_DOUBLE_EQ(map_json.at("overlap_seconds").number, 0.5);
+  ASSERT_EQ(map_json.at("per_rank_overlap").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(map_json.at("per_rank_overlap").array[1].number, 0.5);
+}
+
+TEST(TraceWriter, EmitsOverlapCounterTracksOnlyForOverlappingRanks) {
+  const OverlapSample sample;
+  const Value doc = parse(sample.collector.trace_json());
+
+  std::vector<double> overlap_values;
+  int wait_tracks = 0;
+  for (const Value& event : doc.at("traceEvents").array) {
+    if (event.at("ph").str != "C") continue;
+    const std::string& name = event.at("name").str;
+    if (name == "overlap.rank1") {
+      overlap_values.push_back(event.at("args").at("seconds").number);
+    } else if (name == "overlap.rank0") {
+      ADD_FAILURE() << "rank 0 recorded no overlap";
+    } else {
+      ++wait_tracks;
+    }
+  }
+  // Cumulative hidden-communication track: one sample per record.
+  ASSERT_EQ(overlap_values.size(), 2u);
+  EXPECT_DOUBLE_EQ(overlap_values[0], 0.3);
+  EXPECT_DOUBLE_EQ(overlap_values[1], 0.5);
+  EXPECT_EQ(wait_tracks, 2);  // both ranks still carry wait samples
+}
+
 TEST(TraceWriter, MultipleRunsGetDistinctPids) {
   stats::TraceWriter writer;
   EXPECT_TRUE(writer.empty());
