@@ -230,6 +230,15 @@ std::string Report::bench_json() const {
     if (!p.outcome.detail.empty()) {
       out += ",\"detail\":\"" + escape(p.outcome.detail) + "\"";
     }
+    if (p.outcome.profile != nullptr) {
+      // Balance-relevant point metrics, surfaced for bench_diff.py:
+      // the worst single rank's memory high-water and the receive-volume
+      // imbalance (max over mean of per-rank received bytes).
+      out += ",\"rank_peak\":" +
+             std::to_string(p.outcome.profile->memory_peak_max);
+      out += ",\"imbalance_ratio\":" +
+             json_double(p.outcome.profile->recv_imbalance);
+    }
     out += ",\"stats\":" + p.stats_json;
     out += "}";
   }

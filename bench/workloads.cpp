@@ -3,6 +3,8 @@
 #include "apps/bfs.hpp"
 #include "apps/octree.hpp"
 #include "apps/wordcount.hpp"
+#include "mutil/error.hpp"
+#include "mutil/random.hpp"
 
 namespace bench {
 
@@ -134,6 +136,36 @@ Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
     }
   }
   return {};
+}
+
+std::shared_ptr<const std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+power_law_edges(std::uint64_t nvertices, std::uint64_t nedges, double skew,
+                std::uint64_t seed) {
+  if (nvertices == 0) {
+    throw mutil::UsageError("power_law_edges: nvertices must be > 0");
+  }
+  mutil::Xoshiro256 rng(seed);
+  // Popularity permutation: rank k of the Zipf distribution maps to a
+  // pseudo-random vertex id, so hot destinations do not cluster on the
+  // low ids (which would alias with any id-based partitioning).
+  std::vector<std::uint64_t> perm(nvertices);
+  for (std::uint64_t v = 0; v < nvertices; ++v) perm[v] = v;
+  for (std::uint64_t v = nvertices - 1; v > 0; --v) {
+    const std::uint64_t j = rng.below(v + 1);
+    std::swap(perm[v], perm[j]);
+  }
+  const bool uniform = skew <= 0.0;
+  const mutil::ZipfSampler zipf(nvertices, uniform ? 1.0 : skew);
+  auto edges = std::make_shared<
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
+  edges->reserve(nedges);
+  for (std::uint64_t e = 0; e < nedges; ++e) {
+    const std::uint64_t u = rng.below(nvertices);
+    const std::uint64_t v =
+        uniform ? rng.below(nvertices) : perm[zipf.sample(rng)];
+    edges->emplace_back(u, v);
+  }
+  return edges;
 }
 
 }  // namespace bench

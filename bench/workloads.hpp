@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness.hpp"
@@ -41,5 +43,16 @@ struct FrameworkConfig {
 Outcome run_point(App app, std::uint64_t x, const FrameworkConfig& fc,
                   int nranks, const simtime::MachineProfile& machine,
                   pfs::FileSystem& fs, std::uint64_t seed = 1);
+
+/// Directed power-law graph with configurable skew, shared by the
+/// pagerank/bfs benches: destination vertices are drawn from a Zipf
+/// distribution over a popularity permutation of the vertex ids (so the
+/// hot vertices are scattered across the id space, i.e. across hash
+/// owners), sources uniformly. `skew` is the Zipf exponent — 0 gives a
+/// uniform random graph, ~1 and above concentrates in-degree on a few
+/// vertices. Deterministic in (nvertices, nedges, skew, seed).
+std::shared_ptr<const std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+power_law_edges(std::uint64_t nvertices, std::uint64_t nedges, double skew,
+                std::uint64_t seed);
 
 }  // namespace bench

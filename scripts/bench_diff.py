@@ -9,11 +9,18 @@ matched point the tool compares:
 
   * sim_time       (relative threshold, --time-pct)
   * node_peak      (relative threshold, --mem-pct)
+  * rank_peak      (relative threshold, --mem-pct): the worst single
+    rank's memory high-water; only present when the point carries a
+    stats profile. Baselines written before the metric existed simply
+    lack the field — the diff reports "n/a" and moves on.
   * shuffle_bytes  (relative threshold, --shuffle-pct)
   * wait fraction  (absolute threshold, --wait-abs): the run's total
     collective wait divided by nranks * sim_time, i.e. the mean share of
     rank time spent blocked in collectives. Only computed when both
     documents carry the schema-2 "wait" stats section.
+  * imbalance_ratio (absolute threshold, --imbalance-abs): max over mean
+    of per-rank received shuffle bytes — the metric mimir.balance exists
+    to push down. Compared only when both documents carry it.
 
 A point whose status degrades (ok/spill -> oom/err) is always a
 regression; a baseline point missing from the candidate is too. New
@@ -101,6 +108,9 @@ def main(argv=None):
     parser.add_argument("--wait-abs", type=float, default=0.05,
                         help="allowed wait-fraction increase, absolute "
                              "(default 0.05)")
+    parser.add_argument("--imbalance-abs", type=float, default=0.5,
+                        help="allowed imbalance_ratio increase, absolute "
+                             "(default 0.5)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="NAME=VALUE",
                         help="assert candidate flags[NAME] == VALUE "
@@ -112,7 +122,8 @@ def main(argv=None):
         if not sep or not name:
             parser.error(f"--require needs NAME=VALUE, got {spec!r}")
         requirements.append((name, value))
-    for name in ("time_pct", "mem_pct", "shuffle_pct", "wait_abs"):
+    for name in ("time_pct", "mem_pct", "shuffle_pct", "wait_abs",
+                 "imbalance_abs"):
         if getattr(args, name) < 0:
             parser.error(f"--{name.replace('_', '-')} must be >= 0")
 
@@ -167,9 +178,12 @@ def main(argv=None):
 
         for metric, field, pct in (("sim_time", "sim_time", args.time_pct),
                                    ("node_peak", "node_peak", args.mem_pct),
+                                   ("rank_peak", "rank_peak", args.mem_pct),
                                    ("shuffle_bytes", "shuffle_bytes",
                                     args.shuffle_pct)):
             b_val, c_val = base.get(field, 0), cand.get(field, 0)
+            if field not in base and field not in cand:
+                continue  # metric predates both documents (e.g. rank_peak)
             if field not in base or b_val == 0:
                 # A relative threshold is meaningless against a zero or
                 # absent baseline: report the value, never fail on it.
@@ -194,6 +208,19 @@ def main(argv=None):
                 note(key, "wait_fraction",
                      f"{b_wait:.4f} -> {c_wait:.4f} "
                      f"({delta:+.4f}, limit +{args.wait_abs:g})", over)
+
+        b_imb, c_imb = base.get("imbalance_ratio"), cand.get("imbalance_ratio")
+        if b_imb is None and c_imb is not None:
+            # Baseline predates the metric: report, never regress.
+            note(key, "imbalance_ratio",
+                 f"n/a (absent from baseline; candidate {c_imb:.4f})", False)
+        elif b_imb is not None and c_imb is not None:
+            delta = c_imb - b_imb
+            over = delta > args.imbalance_abs
+            if over or abs(delta) > 1e-12:
+                note(key, "imbalance_ratio",
+                     f"{b_imb:.4f} -> {c_imb:.4f} "
+                     f"({delta:+.4f}, limit +{args.imbalance_abs:g})", over)
 
     for key in cand_points:
         if key not in base_points:

@@ -66,6 +66,7 @@ ASSIGN_SINKS = [
     r"\.\s*consume\s*=",
     r"\.\s*skip\s*=",
     r"\.\s*make_state\s*=",
+    r"\.\s*on_plan\s*=",
 ]
 
 # --strict: per-job callbacks too (same-thread, but a captured reference

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mimir/job.hpp"
@@ -37,9 +38,16 @@ struct RunOptions {
   bool hint = false;
   bool cps = false;
   bool overlap = false;  ///< double-buffered non-blocking shuffle
+  bool balance = false;  ///< skew-aware partitioning on iteration jobs
+  /// External edge list (benchmarks: power-law graphs from
+  /// bench/workloads). Empty = the default Kronecker generator with
+  /// (scale, edge_factor, seed). Shared so RunOptions stays copyable.
+  std::shared_ptr<const std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      edges;
 
   std::uint64_t num_vertices() const { return 1ull << scale; }
   std::uint64_t num_edges() const {
+    if (edges != nullptr) return edges->size();
     return num_vertices() * static_cast<std::uint64_t>(edge_factor);
   }
 };

@@ -71,6 +71,7 @@ struct RunOptions {
   bool pr = false;       ///< partial reduction instead of convert+reduce
   bool cps = false;      ///< KV compression before aggregate
   bool overlap = false;  ///< double-buffered non-blocking shuffle
+  bool balance = false;  ///< skew-aware partitioning (src/balance)
 };
 
 struct Result {

@@ -118,6 +118,14 @@ mimir::CombineFn topk_combiner(int k) {
   };
 }
 
+/// Edge `e` of the run's graph: the external edge list when one is
+/// supplied (bench power-law graphs), the Kronecker generator otherwise.
+std::pair<std::uint64_t, std::uint64_t> edge_of(const RunOptions& opts,
+                                                std::uint64_t e) {
+  if (opts.edges != nullptr) return (*opts.edges)[e];
+  return bfs::kronecker_edge(opts.scale, opts.seed, e);
+}
+
 mimir::JobConfig topk_config(const RunOptions& opts) {
   mimir::JobConfig cfg;
   cfg.page_size = opts.page_size;
@@ -139,7 +147,7 @@ std::unordered_map<std::uint64_t, double> reference_ranks(
   const std::uint64_t n = opts.num_vertices();
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> adj;
   for (std::uint64_t e = 0; e < opts.num_edges(); ++e) {
-    const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+    const auto [u, v] = edge_of(opts, e);
     adj[u].push_back(v);
   }
   std::unordered_map<std::uint64_t, double> ranks;
@@ -193,19 +201,26 @@ static Result run_mimir_impl(simmpi::Context& ctx, const RunOptions& opts,
   cfg.hint = hint_for(opts.hint);
   cfg.kv_compression = opts.cps;
   cfg.overlap = opts.overlap;
+  // Balance applies to the per-iteration contribution shuffles, where
+  // high-in-degree vertices concentrate received bytes. The merge pass
+  // re-homes planned keys, so the owner_of() placement the consume side
+  // relies on is preserved.
+  cfg.balance.enabled = opts.balance;
 
   // Partition phase: route each directed edge to its source's owner.
   // Compression applies to the per-iteration contribution exchange, not
-  // here (adjacency needs every edge).
+  // here (adjacency needs every edge). Balance is off too: the edge
+  // list is shuffled exactly once, so a merge pass could only add cost.
   mimir::JobConfig partition_cfg = cfg;
   partition_cfg.kv_compression = false;
+  partition_cfg.balance.enabled = false;
   mimir::Job partition(ctx, partition_cfg);
   partition.map_custom([&](mimir::Emitter& out) {
     const std::uint64_t edges = opts.num_edges();
     const auto r = static_cast<std::uint64_t>(ctx.rank());
     const auto p = static_cast<std::uint64_t>(ctx.size());
     for (std::uint64_t e = edges * r / p; e < edges * (r + 1) / p; ++e) {
-      const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+      const auto [u, v] = edge_of(opts, e);
       out.emit(id_view(u), id_view(v));
     }
   });
@@ -246,7 +261,11 @@ static Result run_mimir_impl(simmpi::Context& ctx, const RunOptions& opts,
             }
           }
         },
-        opts.cps ? mimir::CombineFn(combine_sum) : mimir::CombineFn{});
+        // Handed over when balance is on too (unused during the map
+        // without cps): the merge pass sums each split rank's share of
+        // a hot vertex locally before re-homing it.
+        opts.cps || opts.balance ? mimir::CombineFn(combine_sum)
+                                 : mimir::CombineFn{});
     step.partial_reduce(combine_sum);
 
     VertexMap<double> contributions(ctx.tracker);
@@ -321,7 +340,7 @@ Result run_mrmpi(simmpi::Context& ctx, const RunOptions& opts,
     const auto r = static_cast<std::uint64_t>(ctx.rank());
     const auto p = static_cast<std::uint64_t>(ctx.size());
     for (std::uint64_t e = edges * r / p; e < edges * (r + 1) / p; ++e) {
-      const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+      const auto [u, v] = edge_of(opts, e);
       out.emit(id_view(u), id_view(v));
     }
   });
@@ -436,8 +455,10 @@ SchedRun make_sched(const RunOptions& opts, int nranks, int top_k) {
   cfg.hint = hint_for(opts.hint);
   cfg.kv_compression = opts.cps;
   cfg.overlap = opts.overlap;
+  cfg.balance.enabled = opts.balance;
   mimir::JobConfig partition_cfg = cfg;
   partition_cfg.kv_compression = false;
+  partition_cfg.balance.enabled = false;
 
   SchedRun run;
   run.results = std::make_shared<std::vector<Result>>(nranks);
@@ -451,7 +472,7 @@ SchedRun make_sched(const RunOptions& opts, int nranks, int top_k) {
     const auto r = static_cast<std::uint64_t>(nctx.exec.rank());
     const auto p = static_cast<std::uint64_t>(nctx.exec.size());
     for (std::uint64_t e = edges * r / p; e < edges * (r + 1) / p; ++e) {
-      const auto [u, v] = bfs::kronecker_edge(opts.scale, opts.seed, e);
+      const auto [u, v] = edge_of(opts, e);
       out.emit(id_view(u), id_view(v));
     }
   };
@@ -490,8 +511,9 @@ SchedRun make_sched(const RunOptions& opts, int nranks, int top_k) {
         }
       }
     };
-    step.combiner =
-        opts.cps ? mimir::CombineFn(combine_sum) : mimir::CombineFn{};
+    step.combiner = opts.cps || opts.balance
+                        ? mimir::CombineFn(combine_sum)
+                        : mimir::CombineFn{};
     step.partial = combine_sum;
     step.consume = [opts, n](sched::NodeCtx& nctx, mimir::KVContainer& out) {
       PrState* st = pr_state(nctx);

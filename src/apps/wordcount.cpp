@@ -157,10 +157,15 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
   if (opts.hint) cfg.hint = mimir::KVHint::string_key_u64_value();
   cfg.kv_compression = opts.cps;
   cfg.overlap = opts.overlap;
+  cfg.balance.enabled = opts.balance;
 
   mimir::Job job(ctx, cfg);
+  // The combiner is also handed over when balance is on (without cps it
+  // is unused during the map): the balance merge pass combines each
+  // split rank's share of a heavy word locally before re-homing it.
   job.map_text_files(opts.files, map_words,
-                     opts.cps ? combine_counts : mimir::CombineFn{});
+                     opts.cps || opts.balance ? combine_counts
+                                              : mimir::CombineFn{});
   if (opts.pr) {
     job.partial_reduce(combine_counts);
   } else {

@@ -1,0 +1,106 @@
+// Partition planner: merged key-frequency sketch -> balanced assignment.
+//
+// The planner sees the globally merged sketch (identical on every rank
+// after the allgatherv) and produces a Plan mapping each heavy key to
+// one or more shuffle destinations:
+//
+//   * tail load per rank is seeded from the exact per-destination byte
+//     totals minus the heavy bytes hashed there — the un-plannable
+//     bytes the hash fallback will keep routing to that rank;
+//   * heavy keys are bin-packed greedily, largest first (ties broken by
+//     key order), each onto the currently least-loaded rank (ties
+//     broken by lowest rank id);
+//   * a key whose estimated bytes exceed split_threshold x the per-rank
+//     target is split across up to max_splits distinct ranks; senders
+//     spread their emissions round-robin over the shares, and the
+//     framework's merge pass re-homes the combined shares after the
+//     map (safe for any reduce, profitable for associative ones);
+//   * an unsplit key that lands on its own hash destination is dropped
+//     from the plan — routing would not change, so the lookup is waste.
+//
+// The algorithm consumes only the merged sketch, the rank count, and
+// the options — all identical across ranks and runs — so every rank
+// computes the same Plan locally with no further communication, and
+// plans are bit-identical across repeated runs (test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "balance/sketch.hpp"
+
+namespace mutil {
+class Config;
+}
+
+namespace balance {
+
+/// Balance knobs ("mimir.balance" / "mimir.balance.*" config keys).
+struct Options {
+  bool enabled = false;           ///< mimir.balance
+  std::size_t sketch_capacity = 64;     ///< heavy-hitter table entries
+  std::size_t reservoir_capacity = 256; ///< tail distinct-estimate size
+  bool allow_split = true;        ///< mimir.balance.split
+  std::size_t max_splits = 4;     ///< shares per split key
+  /// Split a key when its bytes exceed this multiple of the per-rank
+  /// byte target.
+  double split_threshold = 1.25;
+
+  /// Parse mimir.balance and mimir.balance.{sketch_capacity,
+  /// reservoir_capacity, split, max_splits, split_threshold}.
+  static Options from(const mutil::Config& cfg);
+};
+
+/// Shuffle destinations for one planned key. `ranks` is never empty;
+/// size 1 = the key was moved, size > 1 = split across shares.
+struct PlanEntry {
+  std::vector<int> ranks;
+};
+
+/// Deterministic key -> destination override; identical on every rank.
+class Plan {
+ public:
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t split_keys() const noexcept { return split_keys_; }
+
+  bool planned(std::string_view key) const {
+    return entries_.find(key) != entries_.end();
+  }
+
+  /// Destination for `key` emitted by rank `sender`: the fallback for
+  /// tail keys, otherwise one of the key's shares (senders spread
+  /// round-robin so split shares fill evenly).
+  int route(std::string_view key, int fallback, int sender) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return fallback;
+    const std::vector<int>& ranks = it->second.ranks;
+    return ranks[static_cast<std::size_t>(sender) % ranks.size()];
+  }
+
+  const std::map<std::string, PlanEntry, std::less<>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  void insert(std::string key, PlanEntry entry);
+
+  /// Chained hash over the sorted entries; equal plans hash equal
+  /// (the determinism tests compare fingerprints across runs).
+  std::uint64_t fingerprint() const;
+
+ private:
+  std::map<std::string, PlanEntry, std::less<>> entries_;
+  std::size_t split_keys_ = 0;
+};
+
+/// Build the balanced assignment from the merged global sketch.
+/// Deterministic in (merged, nranks, opts); every rank calls this on
+/// identical inputs and obtains the identical plan.
+Plan build_plan(const KeyFreqSketch& merged, int nranks,
+                const Options& opts);
+
+}  // namespace balance

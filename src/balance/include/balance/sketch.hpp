@@ -1,0 +1,103 @@
+// Streaming key-frequency sampler for skew-aware partitioning.
+//
+// Each rank feeds the sketch from its map emissions during the first
+// partition-buffer fill (before the first exchange round). Two bounded
+// structures capture the distribution:
+//
+//   * a SpaceSaving heavy-hitter table over encoded key bytes: at most
+//     `capacity` keys with (bytes, error) estimates. The classic
+//     guarantee holds per rank: a key whose true byte volume exceeds
+//     total/capacity is present, and estimate - error <= true <=
+//     estimate. Eviction picks the minimum-bytes entry, ties broken by
+//     the lexicographically smallest key, so the table contents are a
+//     deterministic function of the offered stream.
+//   * a bottom-k min-hash reservoir over distinct keys, giving a cheap
+//     distinct-key estimate for the tail without storing tail keys.
+//
+// Per-destination byte totals (under the fallback hash routing) are
+// tracked exactly; the planner derives the un-plannable tail load of a
+// rank as total[d] minus the heavy bytes hashed to d.
+//
+// Sketches serialize to a deterministic, byte-ordered format (sorted
+// keys, fixed-width little-endian integers) so the allgatherv'd blobs —
+// and therefore the merged global sketch and the plan built from it —
+// are bit-identical across runs and independent of host scheduling.
+//
+// Like the stats registry, sketch storage is bounded, rank-private and
+// untracked: sampling never advances a simulated clock and never
+// charges a memory tracker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace balance {
+
+/// SpaceSaving estimate for one heavy key (byte volume, not counts:
+/// balancing cares about shuffle bytes, and KVs vary in size).
+struct HeavyEntry {
+  std::uint64_t bytes = 0;  ///< estimated encoded bytes (overestimate)
+  std::uint64_t error = 0;  ///< overestimation bound (0 = exact)
+};
+
+class KeyFreqSketch {
+ public:
+  KeyFreqSketch() = default;
+  /// `ndests` is the rank count of the fallback routing (sizes the
+  /// per-destination totals).
+  KeyFreqSketch(std::size_t capacity, std::size_t reservoir_capacity,
+                int ndests);
+
+  /// Record one emitted KV: `bytes` encoded bytes routed to fallback
+  /// destination `dest`.
+  void offer(std::string_view key, std::uint64_t bytes, int dest);
+
+  const std::map<std::string, HeavyEntry, std::less<>>& heavy()
+      const noexcept {
+    return heavy_;
+  }
+  /// Exact bytes offered toward each fallback destination.
+  const std::vector<std::uint64_t>& dest_bytes() const noexcept {
+    return dest_bytes_;
+  }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t offered_kvs() const noexcept { return offered_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  int ndests() const noexcept {
+    return static_cast<int>(dest_bytes_.size());
+  }
+
+  /// Estimated distinct keys (bottom-k min-hash; exact while fewer than
+  /// `reservoir_capacity` distinct hashes were seen).
+  std::uint64_t distinct_estimate() const;
+
+  /// Deterministic byte serialization (sorted keys, little-endian).
+  std::vector<std::byte> serialize() const;
+  /// Inverse of serialize(); throws mutil::UsageError on a malformed
+  /// blob (truncation, destination-count mismatch with `ndests`).
+  static KeyFreqSketch deserialize(std::span<const std::byte> blob);
+
+  /// Fold `other` into this sketch: per-destination totals and matching
+  /// heavy entries are summed, the reservoirs are unioned (trimmed back
+  /// to capacity). The merged heavy table deliberately keeps the union
+  /// of keys (up to ranks x capacity entries) — the planner wants the
+  /// complete global candidate set, and the union is still tiny.
+  void merge(const KeyFreqSketch& other);
+
+ private:
+  std::size_t capacity_ = 0;
+  std::size_t reservoir_capacity_ = 0;
+  std::map<std::string, HeavyEntry, std::less<>> heavy_;
+  std::vector<std::uint64_t> dest_bytes_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t offered_ = 0;
+  std::set<std::uint64_t> reservoir_;  ///< k smallest key hashes
+};
+
+}  // namespace balance

@@ -1,0 +1,172 @@
+#include "balance/sketch.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "mutil/error.hpp"
+#include "mutil/hash.hpp"
+
+namespace balance {
+
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::byte> blob, std::size_t& pos) {
+  if (pos + 8 > blob.size()) {
+    throw mutil::UsageError("balance: truncated sketch blob");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(blob[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+}  // namespace
+
+KeyFreqSketch::KeyFreqSketch(std::size_t capacity,
+                             std::size_t reservoir_capacity, int ndests)
+    : capacity_(capacity),
+      reservoir_capacity_(reservoir_capacity),
+      dest_bytes_(static_cast<std::size_t>(ndests < 0 ? 0 : ndests), 0) {}
+
+void KeyFreqSketch::offer(std::string_view key, std::uint64_t bytes,
+                          int dest) {
+  total_bytes_ += bytes;
+  ++offered_;
+  if (dest >= 0 && static_cast<std::size_t>(dest) < dest_bytes_.size()) {
+    dest_bytes_[static_cast<std::size_t>(dest)] += bytes;
+  }
+  if (reservoir_capacity_ > 0) {
+    reservoir_.insert(mutil::hash_bytes(key));
+    if (reservoir_.size() > reservoir_capacity_) {
+      reservoir_.erase(std::prev(reservoir_.end()));
+    }
+  }
+  if (capacity_ == 0) return;
+  if (const auto it = heavy_.find(key); it != heavy_.end()) {
+    it->second.bytes += bytes;
+    return;
+  }
+  if (heavy_.size() < capacity_) {
+    heavy_.emplace(std::string(key), HeavyEntry{bytes, 0});
+    return;
+  }
+  // SpaceSaving eviction: replace the minimum-bytes entry; the map's
+  // key order makes the first minimal entry the lexicographically
+  // smallest, so eviction is deterministic.
+  auto victim = heavy_.begin();
+  for (auto it = heavy_.begin(); it != heavy_.end(); ++it) {
+    if (it->second.bytes < victim->second.bytes) victim = it;
+  }
+  const std::uint64_t floor = victim->second.bytes;
+  heavy_.erase(victim);
+  heavy_.emplace(std::string(key), HeavyEntry{floor + bytes, floor});
+}
+
+std::uint64_t KeyFreqSketch::distinct_estimate() const {
+  if (reservoir_.empty()) return 0;
+  if (reservoir_.size() < reservoir_capacity_) {
+    return reservoir_.size();
+  }
+  // Bottom-k estimator: k-th smallest of d uniform hashes sits near
+  // k/d of the hash space.
+  const double kth = static_cast<double>(*reservoir_.rbegin());
+  if (kth <= 0.0) return reservoir_.size();
+  const double space =
+      static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  const double estimate =
+      static_cast<double>(reservoir_.size() - 1) * (space / kth);
+  return estimate < static_cast<double>(reservoir_.size())
+             ? reservoir_.size()
+             : static_cast<std::uint64_t>(estimate);
+}
+
+std::vector<std::byte> KeyFreqSketch::serialize() const {
+  std::vector<std::byte> out;
+  put_u64(out, capacity_);
+  put_u64(out, reservoir_capacity_);
+  put_u64(out, dest_bytes_.size());
+  put_u64(out, total_bytes_);
+  put_u64(out, offered_);
+  for (const std::uint64_t b : dest_bytes_) put_u64(out, b);
+  put_u64(out, heavy_.size());
+  for (const auto& [key, entry] : heavy_) {
+    put_u64(out, key.size());
+    const auto* bytes = reinterpret_cast<const std::byte*>(key.data());
+    out.insert(out.end(), bytes, bytes + key.size());
+    put_u64(out, entry.bytes);
+    put_u64(out, entry.error);
+  }
+  put_u64(out, reservoir_.size());
+  for (const std::uint64_t h : reservoir_) put_u64(out, h);
+  return out;
+}
+
+KeyFreqSketch KeyFreqSketch::deserialize(std::span<const std::byte> blob) {
+  std::size_t pos = 0;
+  KeyFreqSketch out;
+  out.capacity_ = static_cast<std::size_t>(get_u64(blob, pos));
+  out.reservoir_capacity_ = static_cast<std::size_t>(get_u64(blob, pos));
+  const std::uint64_t ndests = get_u64(blob, pos);
+  out.total_bytes_ = get_u64(blob, pos);
+  out.offered_ = get_u64(blob, pos);
+  out.dest_bytes_.resize(static_cast<std::size_t>(ndests));
+  for (auto& b : out.dest_bytes_) b = get_u64(blob, pos);
+  const std::uint64_t nheavy = get_u64(blob, pos);
+  for (std::uint64_t i = 0; i < nheavy; ++i) {
+    const std::uint64_t len = get_u64(blob, pos);
+    if (pos + len > blob.size()) {
+      throw mutil::UsageError("balance: truncated sketch key");
+    }
+    std::string key(reinterpret_cast<const char*>(blob.data() + pos),
+                    static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    HeavyEntry entry;
+    entry.bytes = get_u64(blob, pos);
+    entry.error = get_u64(blob, pos);
+    out.heavy_.emplace(std::move(key), entry);
+  }
+  const std::uint64_t nres = get_u64(blob, pos);
+  for (std::uint64_t i = 0; i < nres; ++i) {
+    out.reservoir_.insert(get_u64(blob, pos));
+  }
+  if (pos != blob.size()) {
+    throw mutil::UsageError("balance: trailing bytes in sketch blob");
+  }
+  return out;
+}
+
+void KeyFreqSketch::merge(const KeyFreqSketch& other) {
+  if (dest_bytes_.size() != other.dest_bytes_.size()) {
+    throw mutil::UsageError(
+        "balance: merging sketches with different destination counts");
+  }
+  total_bytes_ += other.total_bytes_;
+  offered_ += other.offered_;
+  for (std::size_t d = 0; d < dest_bytes_.size(); ++d) {
+    dest_bytes_[d] += other.dest_bytes_[d];
+  }
+  for (const auto& [key, entry] : other.heavy_) {
+    HeavyEntry& mine = heavy_[key];
+    mine.bytes += entry.bytes;
+    mine.error += entry.error;
+  }
+  for (const std::uint64_t h : other.reservoir_) {
+    reservoir_.insert(h);
+    if (reservoir_capacity_ > 0 &&
+        reservoir_.size() > reservoir_capacity_) {
+      reservoir_.erase(std::prev(reservoir_.end()));
+    }
+  }
+}
+
+}  // namespace balance

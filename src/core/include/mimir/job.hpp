@@ -26,12 +26,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "balance/balancer.hpp"
 #include "mimir/combine_table.hpp"
 #include "mimir/containers.hpp"
 #include "mimir/kv.hpp"
@@ -97,10 +99,18 @@ struct JobConfig {
   bool overlap = false;
   /// Alternative key-to-rank routing (paper §III-A). Empty = hash.
   PartitionFn partitioner{};
+  /// Skew-aware load balancing (extension, src/balance): sample key
+  /// frequencies while the first send buffer fills, merge the sketches
+  /// globally at the first exchange round's collective, then route heavy
+  /// keys by a balanced plan (splitting the heaviest across several
+  /// ranks). A merge pass at the end of the map phase re-homes planned
+  /// keys to their original partitioner/hash destination, so
+  /// intermediate() placement is identical with balance on or off.
+  balance::Options balance{};
 
   /// Parse "mimir.*" keys from a Config (page_size, comm_buffer,
-  /// kv_compression, key_hint, value_hint, input_chunk, overlap). Hints
-  /// accept "var", "str", or a fixed byte count.
+  /// kv_compression, key_hint, value_hint, input_chunk, overlap,
+  /// balance.*). Hints accept "var", "str", or a fixed byte count.
   static JobConfig from(const mutil::Config& cfg);
 };
 
@@ -175,15 +185,26 @@ class Job {
   simmpi::Context& context() noexcept { return ctx_; }
   const JobConfig& config() const noexcept { return cfg_; }
 
+  /// The job's load balancer (valid after a map phase with
+  /// cfg.balance.enabled; nullptr otherwise). Exposes the exchanged plan
+  /// and sketch for tests and reports.
+  const balance::Balancer* balancer() const noexcept {
+    return balancer_.get();
+  }
+
  private:
   void run_map(const std::function<void(Emitter&)>& producer,
                const CombineFn& combiner);
+  /// Re-home plan-scattered heavy keys to their original partitioner
+  /// destination (local combine first when a combiner is available).
+  void merge_planned(const CombineFn& combiner);
 
   simmpi::Context& ctx_;
   JobConfig cfg_;
   KVContainer intermediate_;
   KVContainer output_;
   JobMetrics metrics_;
+  std::unique_ptr<balance::Balancer> balancer_;
 
   enum class Phase { kCreated, kMapped, kReduced };
   Phase phase_ = Phase::kCreated;

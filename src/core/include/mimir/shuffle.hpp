@@ -43,6 +43,10 @@
 #include "mimir/kv.hpp"
 #include "simmpi/runtime.hpp"
 
+namespace balance {
+class Balancer;
+}
+
 namespace mimir {
 
 /// Maps a key to its destination rank. The paper (§III-A): "Users can
@@ -57,10 +61,13 @@ class Shuffle {
   /// usable — and charged — size is rounded down to p equal partitions).
   /// `partitioner` overrides the default key-hash routing when set.
   /// `overlap` enables the double-buffered non-blocking exchange (one
-  /// extra send buffer is charged).
+  /// extra send buffer is charged). `balancer` (optional, not owned)
+  /// enables skew-aware routing: emits are sampled until the first
+  /// exchange round, whose collective doubles as the plan exchange;
+  /// later emits route heavy keys by the plan instead of the fallback.
   Shuffle(simmpi::Context& ctx, std::uint64_t comm_buffer, KVHint hint,
           KVContainer& dest, PartitionFn partitioner = {},
-          bool overlap = false);
+          bool overlap = false, balance::Balancer* balancer = nullptr);
 
   Shuffle(const Shuffle&) = delete;
   Shuffle& operator=(const Shuffle&) = delete;
@@ -97,6 +104,7 @@ class Shuffle {
   KVContainer& dest_;
   PartitionFn partitioner_;
   bool overlap_;
+  balance::Balancer* balancer_;  ///< not owned; nullptr = balance off
 
   memtrack::TrackedBuffer send_[2];  ///< [1] allocated only with overlap
   memtrack::TrackedBuffer recv_;

@@ -112,6 +112,7 @@ JobConfig JobConfig::from(const mutil::Config& cfg) {
       cfg.get_size("mimir.ooc_live_bytes", out.ooc_live_bytes);
   out.input_chunk = cfg.get_size("mimir.input_chunk", out.input_chunk);
   out.overlap = cfg.get_bool("mimir.overlap", out.overlap);
+  out.balance = balance::Options::from(cfg);
   out.hint.key_len = parse_hint(cfg, "mimir.key_hint", out.hint.key_len);
   out.hint.value_len =
       parse_hint(cfg, "mimir.value_hint", out.hint.value_len);
@@ -169,8 +170,12 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
   // communication.
   const stats::PhaseScope phase("map");
   inject::phase_point("map");
+  if (cfg_.balance.enabled) {
+    balancer_ =
+        std::make_unique<balance::Balancer>(cfg_.balance, ctx_.size());
+  }
   Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, intermediate_,
-                  cfg_.partitioner, cfg_.overlap);
+                  cfg_.partitioner, cfg_.overlap, balancer_.get());
   if (cfg_.kv_compression) {
     // cps: combine locally first, then shuffle the survivors (either at
     // the end of the input, or incrementally under cps_max_bucket).
@@ -184,6 +189,9 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
     producer(emitter);
   }
   shuffle.finalize();
+  if (balancer_ != nullptr) {
+    merge_planned(combiner);
+  }
 
   metrics_.map_emitted_kvs = shuffle.kvs_emitted();
   metrics_.map_emitted_bytes = shuffle.bytes_emitted();
@@ -201,6 +209,74 @@ void Job::run_map(const std::function<void(Emitter&)>& producer,
   }
   check::audit_point(ctx_.tracker, "map end");
   phase_ = Phase::kMapped;
+}
+
+void Job::merge_planned(const CombineFn& combiner) {
+  // The plan is built from the same merged sketch on every rank, so it
+  // is empty on all ranks or on none — the early return cannot desync
+  // the collective protocol below.
+  const balance::Plan& plan = balancer_->plan();
+  if (plan.empty()) return;
+  // Planned keys were scattered across their plan ranks to balance the
+  // map/aggregate work; re-home them to the original partitioner/hash
+  // destination so downstream consumers (reduce, checkpoints, map-only
+  // outputs, placement-sensitive apps) observe exactly the balance-off
+  // placement. With a combiner the split shares are combined locally
+  // first — the combine work and memory stay distributed, and only the
+  // combined partials travel home.
+  const stats::PhaseScope merge_phase("balance.merge");
+  inject::phase_point("balance.merge");
+  KVContainer keep(ctx_.tracker, cfg_.page_size, cfg_.hint);
+  if (cfg_.ooc_live_bytes != 0) {
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "%pm", static_cast<void*>(this));
+    keep.enable_spill(
+        {&ctx_.fs, &ctx_.clock(),
+         "mimir/ooc/r" + std::to_string(ctx_.rank()) + "." + tag,
+         cfg_.ooc_live_bytes});
+  }
+  KVContainer merged(ctx_.tracker, cfg_.page_size, cfg_.hint);
+  Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, merged,
+                  cfg_.partitioner);
+  std::uint64_t merge_kvs = 0;
+  std::uint64_t merge_bytes = 0;
+  const double rate = ctx_.machine.kv_rate;
+  const auto classify = [&](const KVView& kv, auto&& planned_sink) {
+    ctx_.clock().advance(
+        static_cast<double>(kv.key.size() + kv.value.size() + 8) / rate);
+    if (balancer_->is_planned_key(kv.key)) {
+      planned_sink(kv);
+    } else {
+      keep.append(kv);
+    }
+  };
+  if (combiner) {
+    CombineTable table(ctx_.tracker, cfg_.page_size, cfg_.hint, combiner);
+    intermediate_.consume(
+        [&](const KVView& kv) {
+          classify(kv, [&](const KVView& p) { table.upsert(p.key, p.value); });
+        });
+    table.for_each([&](const KVView& kv) {
+      ++merge_kvs;
+      merge_bytes += kv.key.size() + kv.value.size();
+      shuffle.emit(kv.key, kv.value);
+    });
+  } else {
+    intermediate_.consume([&](const KVView& kv) {
+      classify(kv, [&](const KVView& p) {
+        ++merge_kvs;
+        merge_bytes += p.key.size() + p.value.size();
+        shuffle.emit(p.key, p.value);
+      });
+    });
+  }
+  shuffle.finalize();
+  merged.consume([&](const KVView& kv) { keep.append(kv); });
+  intermediate_ = std::move(keep);
+  if (stats::Registry* reg = stats::current()) {
+    reg->add("balance.merge_kvs", merge_kvs);
+    reg->add("balance.merge_bytes", merge_bytes);
+  }
 }
 
 void Job::map_text_files(std::span<const std::string> files,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "balance/balancer.hpp"
 #include "check/race.hpp"
 #include "inject/fault.hpp"
 #include "memtrack/tracker.hpp"
@@ -13,12 +14,13 @@ namespace mimir {
 
 Shuffle::Shuffle(simmpi::Context& ctx, std::uint64_t comm_buffer,
                  KVHint hint, KVContainer& dest, PartitionFn partitioner,
-                 bool overlap)
+                 bool overlap, balance::Balancer* balancer)
     : ctx_(ctx),
       codec_(hint),
       dest_(dest),
       partitioner_(std::move(partitioner)),
       overlap_(overlap),
+      balancer_(balancer),
       part_cap_(comm_buffer / static_cast<std::uint64_t>(ctx.size())),
       part_displs_(static_cast<std::size_t>(ctx.size()), 0) {
   if (part_cap_ == 0) {
@@ -72,6 +74,20 @@ void Shuffle::emit(std::string_view key, std::string_view value) {
     dest = static_cast<int>(mutil::hash_bytes(key) %
                             static_cast<std::uint64_t>(ctx_.size()));
   }
+  if (balancer_ != nullptr) {
+    if (!balancer_->planned()) {
+      // Pre-plan: feed the key-frequency sketch. Routing is unchanged,
+      // so the first-round payload is identical with balance on or off.
+      balancer_->sample(key, static_cast<std::uint64_t>(bytes), dest);
+    } else {
+      dest = balancer_->route(key, dest, ctx_.rank());
+      if (dest < 0 || dest >= ctx_.size()) {
+        throw mutil::UsageError(
+            "Shuffle: balance plan routed to rank " + std::to_string(dest) +
+            ", outside [0, " + std::to_string(ctx_.size()) + ")");
+      }
+    }
+  }
   const auto dest_rank = static_cast<std::size_t>(dest);
   if (part_used_[cur_][dest_rank] + bytes > part_cap_) {
     if (overlap_) {
@@ -108,6 +124,14 @@ bool Shuffle::exchange_round(bool this_rank_done) {
   // land in the destination container.
   const stats::PhaseScope phase("aggregate");
   inject::phase_point("aggregate");
+  // The first round doubles as the balance plan exchange: every rank
+  // reaches its first round's collectives in the same order (whichever
+  // rank's partition filled first merely arrives at the rendezvous
+  // earlier in simulated time), so prepending the allgatherv here keeps
+  // the global collective sequence aligned.
+  if (balancer_ != nullptr && !balancer_->planned()) {
+    balancer_->exchange_and_plan(ctx_);
+  }
   std::vector<std::uint64_t>& used = part_used_[cur_];
   if (stats::Registry* reg = stats::current()) {
     reg->instant("exchange_round");
@@ -142,6 +166,11 @@ void Shuffle::start_round(bool this_rank_done) {
   ++rounds_;
   const stats::PhaseScope phase("aggregate");
   inject::phase_point("aggregate");
+  // Plan exchange before the first overlapped round, mirroring the
+  // blocking path (see exchange_round).
+  if (balancer_ != nullptr && !balancer_->planned()) {
+    balancer_->exchange_and_plan(ctx_);
+  }
   std::vector<std::uint64_t>& used = part_used_[cur_];
   if (stats::Registry* reg = stats::current()) {
     reg->instant("exchange_round");

@@ -47,6 +47,10 @@
 // the overlapped shuffle, aggregate.initiate (right after the
 // non-blocking round is started) and aggregate.wait (right before the
 // in-flight round is waited on), for faults between initiate and wait.
+// With mimir.balance=1 there are two more: balance.plan (right before
+// the sketch allgatherv at the first exchange round) and balance.merge
+// (at the start of the end-of-map merge pass that re-homes planned
+// keys).
 // Crash and spike clauses fire on attempt 1 unless '#N' says otherwise,
 // so a retried job is not killed again by the same clause.
 //

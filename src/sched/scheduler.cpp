@@ -33,6 +33,9 @@ struct ExecControl {
   const inject::FaultPlan* fault_plan = nullptr;
   double start_offset = 0.0;
   double total_backoff = 0.0;
+  /// Graph-wide skew-balance override (-1 inherit node config, 0/1
+  /// force off/on); mirrors GraphOptions::balance.
+  int balance = -1;
   /// Set per node id when a rank restores it from its checkpoint.
   std::vector<std::atomic<bool>>* resumed_flags = nullptr;
 };
@@ -76,6 +79,9 @@ void run_group(simmpi::Context& exec, simmpi::Context& world,
           cfg.ooc_live_bytes == 0
               ? ctl.degraded_live
               : std::min(cfg.ooc_live_bytes, ctl.degraded_live);
+    }
+    if (ctl.balance >= 0) {
+      cfg.balance.enabled = ctl.balance != 0;
     }
 
     const std::string ckpt = node_checkpoint(ctl.prefix, id);
@@ -302,6 +308,7 @@ GraphOutcome run_graph(int nranks, const simtime::MachineProfile& machine,
   ctl.checkpoint = options.checkpoint;
   ctl.prefix = options.checkpoint_prefix;
   ctl.keep_checkpoints = options.keep_checkpoints;
+  ctl.balance = options.balance;
   std::vector<std::atomic<bool>> resumed_flags(
       static_cast<std::size_t>(graph.size()));
   ctl.resumed_flags = &resumed_flags;
@@ -357,6 +364,7 @@ GraphOutcome run_graph_with_recovery(
   ctl.prefix = policy.checkpoint;
   ctl.keep_checkpoints = policy.keep_checkpoint;
   ctl.fault_plan = fault_plan;
+  ctl.balance = options.balance;
 
   bool resumed_any = false;
   for (int attempt = 1;; ++attempt) {

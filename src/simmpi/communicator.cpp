@@ -529,6 +529,24 @@ GatherResult Communicator::gatherv(int root,
   return result;
 }
 
+GatherResult Communicator::allgatherv(std::span<const std::byte> payload) {
+  // Composition keeps the rendezvous protocol (and the fingerprint
+  // verification) unchanged: gather everything at rank 0, then
+  // broadcast the counts and the concatenated payload. Costs roughly
+  // 2x the payload volume of a tree allgatherv — acceptable for the
+  // control-plane blobs this call exists for.
+  GatherResult result = gatherv(0, payload);
+  const std::uint64_t total =
+      bcast_u64(static_cast<std::uint64_t>(result.data.size()), 0);
+  if (rank_ != 0) {
+    result.counts.assign(static_cast<std::size_t>(size()), 0);
+    result.data.resize(total);
+  }
+  bcast(std::as_writable_bytes(std::span<std::uint64_t>(result.counts)), 0);
+  bcast(std::span<std::byte>(result.data), 0);
+  return result;
+}
+
 // --- non-blocking collectives ---------------------------------------------
 
 namespace {

@@ -186,6 +186,13 @@ class Communicator {
   /// Gather variable-length payloads at `root`.
   GatherResult gatherv(int root, std::span<const std::byte> payload);
 
+  /// All-gather variable-length payloads: every rank receives the
+  /// concatenation of all ranks' payloads (rank order) plus the
+  /// per-rank byte counts. Composed from gatherv(0) + bcast, so the
+  /// existing per-collective fingerprint checks cover it; intended for
+  /// modest control-plane blobs (e.g. balance sketches), not bulk data.
+  GatherResult allgatherv(std::span<const std::byte> payload);
+
   // --- Non-blocking collectives ----------------------------------------
   //
   // Initiations are collective calls too: all ranks must initiate the

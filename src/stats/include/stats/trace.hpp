@@ -67,6 +67,14 @@ struct Summary {
   std::map<std::string, PhaseAttr, std::less<>> phase_attr;
   /// Shuffle traffic matrix: traffic[src][dst] = bytes src sent to dst.
   std::vector<std::vector<std::uint64_t>> traffic;
+  /// Column sums of the traffic matrix: bytes received per rank. The
+  /// receive side is where key skew concentrates, so this is the raw
+  /// material for the post-balance imbalance view.
+  std::vector<std::uint64_t> recv_per_rank;
+  /// Receive-volume imbalance: max over mean of recv_per_rank (1.0 =
+  /// perfectly balanced or no traffic). With mimir.balance=1 this is
+  /// the post-plan value the ablation compares against balance off.
+  double recv_imbalance = 1.0;
   /// Total simulated seconds blocked in collectives, per rank and
   /// summed (rank-seconds, so the sum can exceed the job time).
   std::vector<double> wait_per_rank;

@@ -92,8 +92,16 @@ std::string Summary::json() const {
   {
     bool inner = true;
     append_kv_u64(out, "total_bytes", traffic_total(), &inner);
+    append_kv_f64(out, "recv_imbalance", recv_imbalance, &inner);
   }
-  out += ",\"matrix\":[";
+  out += ",\"recv_per_rank\":[";
+  for (std::size_t r = 0; r < recv_per_rank.size(); ++r) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%s%" PRIu64, r == 0 ? "" : ",",
+                  recv_per_rank[r]);
+    out += buf;
+  }
+  out += "],\"matrix\":[";
   for (std::size_t src = 0; src < traffic.size(); ++src) {
     out += src == 0 ? "[" : ",[";
     for (std::size_t dst = 0; dst < traffic[src].size(); ++dst) {
@@ -206,6 +214,23 @@ Summary Collector::summary() const {
         slot.peak = std::max(slot.peak, comp.peak);
       }
     }
+  }
+  // Receive-volume view of the traffic matrix: column sums and their
+  // max-over-mean imbalance (skewed keys concentrate received bytes).
+  out.recv_per_rank.assign(n, 0);
+  std::uint64_t recv_total = 0;
+  std::uint64_t recv_max = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    std::uint64_t col = 0;
+    for (std::size_t s = 0; s < n; ++s) col += out.traffic[s][d];
+    out.recv_per_rank[d] = col;
+    recv_total += col;
+    recv_max = std::max(recv_max, col);
+  }
+  if (recv_total > 0 && n > 0) {
+    const double mean =
+        static_cast<double>(recv_total) / static_cast<double>(n);
+    out.recv_imbalance = static_cast<double>(recv_max) / mean;
   }
   // Compute/wait attribution per phase name: compute_r = total_r -
   // wait_r; the straggler is the rank with the largest compute share
