@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness.hpp"
@@ -114,6 +115,20 @@ void check_profile(const std::string& where, const Value& point,
              std::to_string(nranks) + " ranks");
       }
     }
+    // Exposed I/O stall is wall time inside the phase; hidden I/O is
+    // cost covered by compute (a drained never-waited queue can close
+    // out past the phase end, so it is only sign-checked here — the
+    // run-level bound against the charged timer is below).
+    const Value* io_wait = phase.find("io_wait_seconds");
+    if (io_wait != nullptr &&
+        (io_wait->number < 0.0 || io_wait->number > seconds + eps)) {
+      fail(where + ": phase " + name + " io_wait_seconds " +
+           std::to_string(io_wait->number) + " outside [0, seconds]");
+    }
+    const Value* io_hidden = phase.find("io_hidden_seconds");
+    if (io_hidden != nullptr && io_hidden->number < 0.0) {
+      fail(where + ": phase " + name + " negative io_hidden_seconds");
+    }
   }
 
   // Whole-run wait: the total is the sum of the per-rank totals.
@@ -129,6 +144,45 @@ void check_profile(const std::string& where, const Value& point,
   if (std::abs(wait_sum - wait_total) > 1e-6 * std::max(1.0, wait_total)) {
     fail(where + ": wait.per_rank sums to " + std::to_string(wait_sum) +
          " != total_seconds " + std::to_string(wait_total));
+  }
+
+  // I/O attribution: per-rank splits sum to the totals, and neither
+  // side of the split exceeds the charged PFS time — hidden seconds
+  // are pfs.io_seconds the pipeline covered with compute, never new
+  // time invented on top of it.
+  const Value& io = stats.at("io");
+  const double io_wait_total = io.at("wait_seconds").number;
+  const double io_hidden_total = io.at("hidden_seconds").number;
+  for (const auto& [key, total] :
+       {std::pair<const char*, double>{"per_rank_wait", io_wait_total},
+        std::pair<const char*, double>{"per_rank_hidden",
+                                       io_hidden_total}}) {
+    const Value& per_rank = io.at(key);
+    if (per_rank.array.size() != nranks) {
+      fail(where + ": io." + key + " has " +
+           std::to_string(per_rank.array.size()) + " entries for " +
+           std::to_string(nranks) + " ranks");
+    }
+    double sum = 0.0;
+    for (const Value& v : per_rank.array) {
+      if (v.number < 0.0) fail(where + ": negative entry in io." + key);
+      sum += v.number;
+    }
+    if (std::abs(sum - total) > 1e-6 * std::max(1.0, total)) {
+      fail(where + ": io." + key + " sums to " + std::to_string(sum) +
+           " != " + std::to_string(total));
+    }
+  }
+  const Value* charged = stats.at("timers").find("pfs.io_seconds");
+  const double io_charged = charged == nullptr ? 0.0 : charged->number;
+  const double io_eps = 1e-6 * std::max(1.0, io_charged);
+  if (io_hidden_total > io_charged + io_eps) {
+    fail(where + ": io.hidden_seconds " + std::to_string(io_hidden_total) +
+         " exceeds charged pfs.io_seconds " + std::to_string(io_charged));
+  }
+  if (io_wait_total > io_charged + io_eps) {
+    fail(where + ": io.wait_seconds " + std::to_string(io_wait_total) +
+         " exceeds charged pfs.io_seconds " + std::to_string(io_charged));
   }
 
   // Tagged memory must reconcile with the untagged accounting: the

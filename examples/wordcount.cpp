@@ -11,6 +11,7 @@
 //   framework=mimir|mrmpi    (mimir)
 //   hint=0|1 pr=0|1 cps=0|1  Mimir optional optimizations (off)
 //   overlap=0|1              double-buffered non-blocking shuffle (off)
+//   prefetch=0|1             async I/O pipeline: pfs read-ahead (off)
 //   page=BYTES comm=BYTES    page / comm buffer sizes (64K)
 //   seed=N                   dataset seed (1)
 #include <cstdio>
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
   opts.pr = cfg.get_bool("pr", false);
   opts.cps = cfg.get_bool("cps", false);
   opts.overlap = cfg.get_bool("overlap", false);
+  opts.prefetch = cfg.get_bool("prefetch", false);
   const bool mrmpi = cfg.get_string("framework", "mimir") == "mrmpi";
 
   // The cross-rank result goes through check::Shared<T>: under

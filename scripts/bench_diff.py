@@ -21,6 +21,16 @@ matched point the tool compares:
   * imbalance_ratio (absolute threshold, --imbalance-abs): max over mean
     of per-rank received shuffle bytes — the metric mimir.balance exists
     to push down. Compared only when both documents carry it.
+  * io_wait_fraction (absolute threshold, --io-wait-abs): the run's
+    total exposed PFS stall divided by nranks * sim_time — the share of
+    rank time spent blocked on the filesystem. An increase beyond the
+    threshold is a regression.
+  * io_hidden_seconds (relative threshold, --io-hidden-pct): PFS cost
+    the async I/O pipeline covered with compute. Unlike every other
+    metric, a *decrease* is the regression — less overlap means the
+    pipeline stopped hiding I/O. Baselines written before the "io"
+    stats section existed simply lack it: the diff reports "n/a" for
+    both io metrics and never fails on them.
 
 A point whose status degrades (ok/spill -> oom/err) is always a
 regression; a baseline point missing from the candidate is too. New
@@ -80,6 +90,21 @@ def wait_fraction(point):
     return wait.get("total_seconds", 0.0) / (nranks * sim_time)
 
 
+def io_stats(point):
+    """The point's (wait_fraction, hidden_seconds) I/O attribution, or
+    (None, None) when the document predates the "io" stats section."""
+    stats = point.get("stats", {})
+    io = stats.get("io")
+    if io is None:
+        return None, None
+    hidden = io.get("hidden_seconds", 0.0)
+    sim_time = point.get("sim_time", 0.0)
+    nranks = len(io.get("per_rank_wait", []))
+    if sim_time <= 0.0 or nranks == 0:
+        return None, hidden
+    return io.get("wait_seconds", 0.0) / (nranks * sim_time), hidden
+
+
 def rel_change(base, cand):
     if base == 0:
         return 0.0 if cand == 0 else float("inf")
@@ -111,6 +136,12 @@ def main(argv=None):
     parser.add_argument("--imbalance-abs", type=float, default=0.5,
                         help="allowed imbalance_ratio increase, absolute "
                              "(default 0.5)")
+    parser.add_argument("--io-wait-abs", type=float, default=0.05,
+                        help="allowed io-wait-fraction increase, absolute "
+                             "(default 0.05)")
+    parser.add_argument("--io-hidden-pct", type=float, default=25.0,
+                        help="allowed io_hidden_seconds DECREASE, percent "
+                             "(default 25)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="NAME=VALUE",
                         help="assert candidate flags[NAME] == VALUE "
@@ -123,7 +154,7 @@ def main(argv=None):
             parser.error(f"--require needs NAME=VALUE, got {spec!r}")
         requirements.append((name, value))
     for name in ("time_pct", "mem_pct", "shuffle_pct", "wait_abs",
-                 "imbalance_abs"):
+                 "imbalance_abs", "io_wait_abs", "io_hidden_pct"):
         if getattr(args, name) < 0:
             parser.error(f"--{name.replace('_', '-')} must be >= 0")
 
@@ -221,6 +252,44 @@ def main(argv=None):
                 note(key, "imbalance_ratio",
                      f"{b_imb:.4f} -> {c_imb:.4f} "
                      f"({delta:+.4f}, limit +{args.imbalance_abs:g})", over)
+
+        b_io_wait, b_io_hidden = io_stats(base)
+        c_io_wait, c_io_hidden = io_stats(cand)
+        if b_io_hidden is None and c_io_hidden is not None:
+            # Baseline predates the "io" stats section: report, never
+            # regress (mirrors imbalance_ratio above).
+            note(key, "io_wait_fraction",
+                 "n/a (absent from baseline; candidate "
+                 f"{c_io_wait:.4f})" if c_io_wait is not None
+                 else "n/a (absent from baseline)", False)
+            note(key, "io_hidden_seconds",
+                 f"n/a (absent from baseline; candidate {c_io_hidden:.4f})",
+                 False)
+        else:
+            if b_io_wait is not None and c_io_wait is not None:
+                delta = c_io_wait - b_io_wait
+                over = delta > args.io_wait_abs
+                if over or abs(delta) > 1e-12:
+                    note(key, "io_wait_fraction",
+                         f"{b_io_wait:.4f} -> {c_io_wait:.4f} "
+                         f"({delta:+.4f}, limit +{args.io_wait_abs:g})",
+                         over)
+            if b_io_hidden is not None and c_io_hidden is not None:
+                if b_io_hidden == 0:
+                    if c_io_hidden != 0:
+                        note(key, "io_hidden_seconds",
+                             f"n/a (baseline is 0; candidate "
+                             f"{c_io_hidden:.4f})", False)
+                else:
+                    change = rel_change(b_io_hidden, c_io_hidden)
+                    # Hidden I/O shrinking means the pipeline stopped
+                    # overlapping: the regression direction is down.
+                    over = -change * 100.0 > args.io_hidden_pct
+                    if over or change != 0.0:
+                        note(key, "io_hidden_seconds",
+                             f"{b_io_hidden:.4f} -> {c_io_hidden:.4f} "
+                             f"({fmt_pct(change)}, limit "
+                             f"-{args.io_hidden_pct:g}%)", over)
 
     for key in cand_points:
         if key not in base_points:

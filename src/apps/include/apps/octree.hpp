@@ -48,6 +48,10 @@ struct RunOptions {
   bool hint = false;
   bool pr = false;
   bool cps = false;
+  bool prefetch = false;  ///< async I/O pipeline (write-behind spill)
+  /// Out-of-core bound for the per-level intermediate container
+  /// (0 = in-memory only); the octree is the spill-heavy showcase.
+  std::uint64_t ooc_live_bytes = 0;
 };
 
 struct Result {

@@ -72,6 +72,7 @@ struct RunOptions {
   bool cps = false;      ///< KV compression before aggregate
   bool overlap = false;  ///< double-buffered non-blocking shuffle
   bool balance = false;  ///< skew-aware partitioning (src/balance)
+  bool prefetch = false; ///< async I/O pipeline (pfs read-ahead)
 };
 
 struct Result {

@@ -174,6 +174,8 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
   cfg.comm_buffer = opts.comm_buffer;
   cfg.hint = hint_for(opts);
   cfg.kv_compression = opts.cps;
+  cfg.prefetch = opts.prefetch;
+  cfg.ooc_live_bytes = opts.ooc_live_bytes;
 
   // Points are application state; the MapReduce dataflow carries
   // (octant code, count) KVs. Their storage is charged to the tracker

@@ -158,6 +158,7 @@ Result run_mimir(simmpi::Context& ctx, const RunOptions& opts) {
   cfg.kv_compression = opts.cps;
   cfg.overlap = opts.overlap;
   cfg.balance.enabled = opts.balance;
+  cfg.prefetch = opts.prefetch;
 
   mimir::Job job(ctx, cfg);
   // The combiner is also handed over when balance is on (without cps it

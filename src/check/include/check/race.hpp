@@ -308,6 +308,16 @@ void race_note_access(const void* base, bool write);
 void race_handoff_publish(std::uint64_t key);
 void race_handoff_acquire(std::uint64_t key);
 
+/// Freeze / thaw a registered region around an asynchronous operation
+/// the calling rank initiated (e.g. a PFS read-ahead into `base`):
+/// between initiate and complete, any same-rank touch of the region is
+/// a reported race (write-after-initiate / read-after-initiate when
+/// the op itself writes the buffer). No-ops unbound; unregistered
+/// bases are ignored.
+void race_nb_initiate(const void* base, bool op_writes,
+                      std::string_view what);
+void race_nb_complete(const void* base);
+
 /// Page lifecycle forwarding on the calling rank thread (no-ops
 /// unbound); the region name comes from the active memtrack tag.
 void race_page_alloc(const void* block, std::uint64_t bytes);

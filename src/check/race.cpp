@@ -391,6 +391,18 @@ void race_handoff_acquire(std::uint64_t key) {
   t_detector->handoff_acquire(t_rank, key);
 }
 
+void race_nb_initiate(const void* base, bool op_writes,
+                      std::string_view what) {
+  if (t_detector == nullptr) return;
+  t_detector->nb_initiate(base, t_rank, op_writes, what, bound_sim_time(),
+                          bound_phase());
+}
+
+void race_nb_complete(const void* base) {
+  if (t_detector == nullptr) return;
+  t_detector->nb_complete(base, t_rank, bound_sim_time(), bound_phase());
+}
+
 void race_page_alloc(const void* block, std::uint64_t bytes) {
   if (t_detector == nullptr) return;
   const char* tag = memtrack::current_tag();

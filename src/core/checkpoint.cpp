@@ -6,6 +6,7 @@
 #include "inject/fault.hpp"
 #include "memtrack/tracker.hpp"
 #include "mutil/error.hpp"
+#include "pfs/async.hpp"
 #include "stats/registry.hpp"
 
 namespace mimir {
@@ -40,7 +41,7 @@ std::string commit_name(const std::string& name) {
 }  // namespace
 
 void save_container(simmpi::Context& ctx, const KVContainer& kvc,
-                    const std::string& name) {
+                    const std::string& name, bool write_behind) {
   const stats::PhaseScope phase("checkpoint_save");
   inject::phase_point("checkpoint_save");
   if (stats::Registry* reg = stats::current()) {
@@ -58,6 +59,9 @@ void save_container(simmpi::Context& ctx, const KVContainer& kvc,
   header.reserved = 0;
 
   pfs::Writer writer = ctx.fs.create(shard_name(name, ctx.rank()));
+  // Write-behind: shard chunks mutate the file at enqueue; their
+  // charges drain at behind.flush() below, before the commit barrier.
+  pfs::AsyncWriter behind(write_behind);
   // Re-encode each KV through a staging buffer flushed in large chunks:
   // going record-by-record keeps the format independent of page size,
   // but issuing one PFS op per record would charge the PFS latency (and
@@ -75,11 +79,14 @@ void save_container(simmpi::Context& ctx, const KVContainer& kvc,
     staged.resize(old + bytes);
     codec.encode(staged.data() + old, kv.key, kv.value);
     if (staged.size() >= kFlushBytes) {
-      writer.write(staged, ctx.clock());
+      behind.write(writer, staged, ctx.clock());
       staged.clear();
     }
   });
-  if (!staged.empty()) writer.write(staged, ctx.clock());
+  if (!staged.empty()) behind.write(writer, staged, ctx.clock());
+  // Drain before the commit protocol: the barrier below must only be
+  // reached once this rank's shard charges (or fault) have landed.
+  behind.flush(ctx.clock());
   ctx.comm.barrier();  // checkpoint is complete only when everyone wrote
   if (ctx.rank() == 0) {
     ctx.fs.write_file(commit_name(name), std::string_view("ok"),
@@ -154,7 +161,8 @@ void remove_checkpoint(simmpi::Context& ctx, const std::string& name) {
 }
 
 void checkpoint_job(Job& job, const std::string& name) {
-  save_container(job.context(), job.intermediate(), name);
+  save_container(job.context(), job.intermediate(), name,
+                 job.config().prefetch);
 }
 
 Job resume_job(simmpi::Context& ctx, JobConfig cfg,

@@ -29,6 +29,7 @@ KVContainer::KVContainer(KVContainer&& other) noexcept
       num_kvs_(std::exchange(other.num_kvs_, 0)),
       data_bytes_(std::exchange(other.data_bytes_, 0)),
       spill_(std::exchange(other.spill_, SpillConfig{})),
+      spill_writer_(std::exchange(other.spill_writer_, pfs::AsyncWriter{})),
       spilled_bytes_(std::exchange(other.spilled_bytes_, 0)),
       segments_(std::exchange(other.segments_, 0)) {}
 
@@ -42,6 +43,7 @@ KVContainer& KVContainer::operator=(KVContainer&& other) noexcept {
     num_kvs_ = std::exchange(other.num_kvs_, 0);
     data_bytes_ = std::exchange(other.data_bytes_, 0);
     spill_ = std::exchange(other.spill_, SpillConfig{});
+    spill_writer_ = std::exchange(other.spill_writer_, pfs::AsyncWriter{});
     spilled_bytes_ = std::exchange(other.spilled_bytes_, 0);
     segments_ = std::exchange(other.segments_, 0);
   }
@@ -57,6 +59,7 @@ void KVContainer::enable_spill(SpillConfig spill) {
     throw mutil::ConfigError("KVContainer: spill needs a file name");
   }
   spill_ = std::move(spill);
+  spill_writer_ = pfs::AsyncWriter(spill_.enabled() && spill_.write_behind);
 }
 
 std::byte* KVContainer::grab(std::size_t bytes) {
@@ -87,10 +90,15 @@ void KVContainer::maybe_spill() {
     pfs::Writer writer = segments_ == 0 ? spill_.fs->create(spill_.file)
                                         : spill_.fs->append(spill_.file);
     const std::uint64_t len = front.used;
-    writer.write(std::span<const std::byte>(
-                     reinterpret_cast<const std::byte*>(&len), sizeof(len)),
-                 *spill_.clock);
-    writer.write(front.contents(), *spill_.clock);
+    // Routed through the write-behind queue: with spill_.write_behind
+    // these mutate the file now but charge the clock at the drain
+    // (stream_spilled / drop); disabled, they write synchronously.
+    spill_writer_.write(
+        writer,
+        std::span<const std::byte>(reinterpret_cast<const std::byte*>(&len),
+                                   sizeof(len)),
+        *spill_.clock);
+    spill_writer_.write(writer, front.contents(), *spill_.clock);
     spilled_bytes_ += len;
     ++segments_;
     pages_.pop_front();
@@ -100,6 +108,9 @@ void KVContainer::maybe_spill() {
 void KVContainer::stream_spilled(
     const std::function<void(std::span<const std::byte>)>& fn) const {
   if (segments_ == 0) return;
+  // Drain pending write-behind charges before reading the segments
+  // back — the read must queue behind its own data's writes.
+  spill_writer_.flush(*spill_.clock);
   pfs::Reader reader = spill_.fs->open(spill_.file);
   std::vector<std::byte> segment;
   for (std::uint64_t s = 0; s < segments_; ++s) {
@@ -120,6 +131,9 @@ void KVContainer::stream_spilled(
 }
 
 void KVContainer::drop_spill_file() {
+  // The data is deleted unread; abandon any queued charges (recorded
+  // as hidden so the io accounting still closes).
+  spill_writer_.discard();
   if (segments_ != 0 && spill_.fs != nullptr &&
       spill_.fs->exists(spill_.file)) {
     spill_.fs->remove(spill_.file);

@@ -36,9 +36,13 @@ struct CheckpointInfo {
 };
 
 /// Write this rank's shard of `kvc` under checkpoint `name`.
-/// Collective; all ranks must call it with the same name.
+/// Collective; all ranks must call it with the same name. With
+/// `write_behind` (mimir.prefetch), shard writes enqueue against the
+/// async pipeline and drain right before the commit barrier — shard
+/// bytes are bit-identical either way, and the commit marker still
+/// appears only after every charge landed.
 void save_container(simmpi::Context& ctx, const KVContainer& kvc,
-                    const std::string& name);
+                    const std::string& name, bool write_behind = false);
 
 /// True if a complete checkpoint `name` exists for this world size.
 bool checkpoint_exists(simmpi::Context& ctx, const std::string& name);

@@ -18,6 +18,7 @@
 
 #include "memtrack/tracker.hpp"
 #include "mimir/kv.hpp"
+#include "pfs/async.hpp"
 #include "pfs/filesystem.hpp"
 
 namespace mimir {
@@ -48,6 +49,11 @@ struct SpillConfig {
   simtime::Clock* clock = nullptr;
   std::string file;
   std::uint64_t max_live_bytes = 0;
+  /// Write-behind spill (mimir.prefetch): segment writes mutate the
+  /// file at enqueue but their clock charges drain when the container
+  /// is next streamed (or as hidden cost if the file is dropped
+  /// unread). File bytes are bit-identical either way.
+  bool write_behind = false;
 
   bool enabled() const noexcept {
     return fs != nullptr && max_live_bytes != 0;
@@ -146,6 +152,11 @@ class KVContainer {
   std::uint64_t data_bytes_ = 0;
 
   SpillConfig spill_;
+  /// Write-behind queue for spill segments. Mutable because the const
+  /// scan path must drain it before streaming segments back — it holds
+  /// timing/accounting state only, never data (the file mutates at
+  /// enqueue), so const-ness of the data is preserved.
+  mutable pfs::AsyncWriter spill_writer_;
   std::uint64_t spilled_bytes_ = 0;
   std::uint64_t segments_ = 0;
 };

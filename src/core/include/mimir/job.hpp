@@ -97,6 +97,16 @@ struct JobConfig {
   /// extra send buffer. Results are bit-identical with overlap on or
   /// off; only the wait/overlap time attribution changes.
   bool overlap = false;
+  /// Asynchronous I/O pipeline (extension, src/pfs/async.hpp):
+  /// read-ahead on text-file map input (chunk k maps while chunk k+1
+  /// is in flight) and write-behind on checkpoint shards and OOC spill
+  /// writes (queued at enqueue, drained at the commit point). Results,
+  /// intermediate placement, and checkpoint bytes are bit-identical
+  /// with prefetch on or off; only the wait/hidden time attribution
+  /// changes. Charges prefetch_depth input-chunk buffers.
+  bool prefetch = false;
+  /// Read-ahead depth: in-flight input chunks per file (>= 1).
+  int prefetch_depth = 2;
   /// Alternative key-to-rank routing (paper §III-A). Empty = hash.
   PartitionFn partitioner{};
   /// Skew-aware load balancing (extension, src/balance): sample key
@@ -110,7 +120,8 @@ struct JobConfig {
 
   /// Parse "mimir.*" keys from a Config (page_size, comm_buffer,
   /// kv_compression, key_hint, value_hint, input_chunk, overlap,
-  /// balance.*). Hints accept "var", "str", or a fixed byte count.
+  /// prefetch, prefetch_depth, balance.*). Hints accept "var", "str",
+  /// or a fixed byte count.
   static JobConfig from(const mutil::Config& cfg);
 };
 

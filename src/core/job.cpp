@@ -8,6 +8,7 @@
 #include "mimir/convert.hpp"
 #include "mimir/shuffle.hpp"
 #include "mutil/error.hpp"
+#include "pfs/async.hpp"
 #include "stats/registry.hpp"
 
 namespace mimir {
@@ -112,6 +113,11 @@ JobConfig JobConfig::from(const mutil::Config& cfg) {
       cfg.get_size("mimir.ooc_live_bytes", out.ooc_live_bytes);
   out.input_chunk = cfg.get_size("mimir.input_chunk", out.input_chunk);
   out.overlap = cfg.get_bool("mimir.overlap", out.overlap);
+  out.prefetch = cfg.get_bool("mimir.prefetch", out.prefetch);
+  out.prefetch_depth = std::max<int>(
+      1, static_cast<int>(cfg.get_size(
+             "mimir.prefetch_depth",
+             static_cast<std::uint64_t>(out.prefetch_depth))));
   out.balance = balance::Options::from(cfg);
   out.hint.key_len = parse_hint(cfg, "mimir.key_hint", out.hint.key_len);
   out.hint.value_len =
@@ -140,7 +146,7 @@ Job::Job(simmpi::Context& ctx, JobConfig cfg)
     intermediate_.enable_spill(
         {&ctx.fs, &ctx.clock(),
          "mimir/ooc/r" + std::to_string(ctx.rank()) + "." + tag,
-         cfg.ooc_live_bytes});
+         cfg.ooc_live_bytes, cfg.prefetch});
   }
 }
 
@@ -233,7 +239,7 @@ void Job::merge_planned(const CombineFn& combiner) {
     keep.enable_spill(
         {&ctx_.fs, &ctx_.clock(),
          "mimir/ooc/r" + std::to_string(ctx_.rank()) + "." + tag,
-         cfg_.ooc_live_bytes});
+         cfg_.ooc_live_bytes, cfg_.prefetch});
   }
   KVContainer merged(ctx_.tracker, cfg_.page_size, cfg_.hint);
   Shuffle shuffle(ctx_, cfg_.comm_buffer, cfg_.hint, merged,
@@ -284,34 +290,55 @@ void Job::map_text_files(std::span<const std::string> files,
   run_map(
       [&](Emitter& emitter) {
         std::string carry;
-        std::vector<std::byte> chunk(cfg_.input_chunk);
+        // Shared per-chunk body: both input paths feed identical chunk
+        // boundaries through it, so emissions (and therefore shuffle
+        // rounds and results) are bit-identical prefetch on or off.
+        const auto feed = [&](const std::byte* data, std::size_t n) {
+          carry.append(reinterpret_cast<const char*>(data), n);
+          // Hand over whole lines; keep the partial tail for the next
+          // chunk so words never split across callbacks.
+          const std::size_t cut = carry.rfind('\n');
+          if (cut == std::string::npos) return;
+          const std::string_view record(carry.data(), cut + 1);
+          metrics_.input_bytes += record.size();
+          ctx_.clock().advance(static_cast<double>(record.size()) /
+                               ctx_.machine.map_rate);
+          fn(record, emitter);
+          carry.erase(0, cut + 1);
+        };
+        const auto flush_tail = [&] {
+          if (carry.empty()) return;
+          metrics_.input_bytes += carry.size();
+          ctx_.clock().advance(static_cast<double>(carry.size()) /
+                               ctx_.machine.map_rate);
+          fn(carry, emitter);
+          carry.clear();
+        };
+        std::vector<std::byte> chunk;
+        if (!cfg_.prefetch) chunk.resize(cfg_.input_chunk);
         for (std::size_t i = static_cast<std::size_t>(ctx_.rank());
              i < files.size();
              i += static_cast<std::size_t>(ctx_.size())) {
-          pfs::Reader reader = ctx_.fs.open(files[i]);
           carry.clear();
-          for (;;) {
-            const std::size_t n = reader.read(chunk, ctx_.clock());
-            if (n == 0) break;
-            carry.append(reinterpret_cast<const char*>(chunk.data()), n);
-            // Hand over whole lines; keep the partial tail for the next
-            // chunk so words never split across callbacks.
-            const std::size_t cut = carry.rfind('\n');
-            if (cut == std::string::npos) continue;
-            const std::string_view record(carry.data(), cut + 1);
-            metrics_.input_bytes += record.size();
-            ctx_.clock().advance(static_cast<double>(record.size()) /
-                                 ctx_.machine.map_rate);
-            fn(record, emitter);
-            carry.erase(0, cut + 1);
+          if (cfg_.prefetch) {
+            // Read-ahead: map chunk k while chunk k+1 is in flight.
+            pfs::AsyncReader reader(ctx_.fs.open(files[i]), ctx_.tracker,
+                                    cfg_.input_chunk, cfg_.prefetch_depth,
+                                    ctx_.clock());
+            for (;;) {
+              const std::span<const std::byte> data = reader.next(ctx_.clock());
+              if (data.empty()) break;
+              feed(data.data(), data.size());
+            }
+          } else {
+            pfs::Reader reader = ctx_.fs.open(files[i]);
+            for (;;) {
+              const std::size_t n = reader.read(chunk, ctx_.clock());
+              if (n == 0) break;
+              feed(chunk.data(), n);
+            }
           }
-          if (!carry.empty()) {
-            metrics_.input_bytes += carry.size();
-            ctx_.clock().advance(static_cast<double>(carry.size()) /
-                                 ctx_.machine.map_rate);
-            fn(carry, emitter);
-            carry.clear();
-          }
+          flush_tail();
         }
       },
       combiner);

@@ -50,7 +50,10 @@
 // With mimir.balance=1 there are two more: balance.plan (right before
 // the sketch allgatherv at the first exchange round) and balance.merge
 // (at the start of the end-of-map merge pass that re-homes planned
-// keys).
+// keys). With mimir.prefetch=1 the async I/O pipeline adds
+// pfs.prefetch (right after a read-ahead request is issued, for faults
+// in the issue→wait window) and pfs.flush (at a write-behind drain,
+// right before the queued costs are charged).
 // Crash and spike clauses fire on attempt 1 unless '#N' says otherwise,
 // so a retried job is not killed again by the same clause.
 //

@@ -1,0 +1,176 @@
+#include "pfs/async.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/race.hpp"
+#include "inject/fault.hpp"
+#include "mutil/error.hpp"
+#include "stats/registry.hpp"
+
+namespace pfs {
+
+namespace {
+
+void record_split(double exposed, double hidden) {
+  if (stats::Registry* reg = stats::current()) {
+    reg->record_io_wait(exposed);
+    reg->record_io_hidden(hidden);
+  }
+}
+
+void record_hidden(double seconds) {
+  if (stats::Registry* reg = stats::current()) {
+    reg->record_io_hidden(seconds);
+  }
+}
+
+}  // namespace
+
+// --- AsyncReader -----------------------------------------------------------
+
+AsyncReader::AsyncReader(Reader reader, memtrack::Tracker& tracker,
+                         std::size_t chunk_bytes, int depth,
+                         simtime::Clock& clock)
+    : reader_(std::move(reader)), chunk_(chunk_bytes) {
+  if (chunk_ == 0) {
+    throw mutil::UsageError("pfs: AsyncReader chunk size must be positive");
+  }
+  depth = std::max(depth, 1);
+  const memtrack::TagScope tag("io", memtrack::TagScope::Mode::kFallback);
+  for (int i = 0; i < depth && !done_issuing_; ++i) {
+    issue(memtrack::TrackedBuffer(tracker, chunk_), clock);
+  }
+}
+
+AsyncReader::~AsyncReader() {
+  // Issued but never waited on (early loop exit, unwinding after a
+  // fault): their costs were charged to pfs.io_seconds at issue, so
+  // close the accounting by counting them as hidden.
+  while (!in_flight_.empty()) {
+    Slot& slot = in_flight_.front();
+    check::race_nb_complete(slot.buffer.data());
+    if (slot.fault == nullptr) record_hidden(slot.cost);
+    in_flight_.pop_front();
+  }
+}
+
+void AsyncReader::issue(memtrack::TrackedBuffer buffer,
+                        const simtime::Clock& clock) {
+  if (done_issuing_) return;
+  // The crash hook fires outside the stash below, so an injected
+  // rank_crash@pfs.prefetch propagates here — between issue and wait.
+  inject::phase_point("pfs.prefetch");
+  Slot slot;
+  slot.buffer = std::move(buffer);
+  // The operation owns the buffer until the wait: freeze it so a
+  // same-rank write into an in-flight prefetch buffer is a race.
+  check::race_nb_initiate(slot.buffer.data(), /*op_writes=*/true,
+                          "pfs.prefetch");
+  simtime::Clock io;
+  try {
+    const detail::DeferredIoScope defer;
+    slot.bytes = reader_.read(slot.buffer.span(), io);
+  } catch (const mutil::TransientIoError&) {
+    // Blocking mode would throw at this operation; deliver at the
+    // wait instead and issue nothing further (nothing after the throw
+    // would have happened).
+    slot.fault = std::current_exception();
+    done_issuing_ = true;
+  }
+  slot.cost = io.now();
+  // Shared-bandwidth operations queue behind each other: this request
+  // completes one cost after the later of "issued now" and "previous
+  // request done".
+  last_ready_ = std::max(clock.now(), last_ready_) + slot.cost;
+  slot.ready = last_ready_;
+  // EOF is a real zero-byte operation (it still cost one latency, same
+  // as the blocking loop's terminating read); stop issuing past it.
+  if (slot.fault == nullptr && slot.bytes == 0) done_issuing_ = true;
+  in_flight_.push_back(std::move(slot));
+}
+
+std::span<const std::byte> AsyncReader::next(simtime::Clock& clock) {
+  // Recycle the chunk the caller just finished: its buffer becomes the
+  // next read-ahead request. This must precede the empty check — at
+  // depth 1 the queue is empty between consecutive chunks, and the
+  // recycled buffer is what keeps the file advancing.
+  if (current_.buffer.size() > 0 && !done_issuing_) {
+    issue(std::move(current_.buffer), clock);
+  }
+  if (in_flight_.empty()) return {};
+  Slot slot = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  check::race_nb_complete(slot.buffer.data());
+  if (slot.fault != nullptr) {
+    std::rethrow_exception(std::exchange(slot.fault, nullptr));
+  }
+  // Charge the wait: sync to the chained ready time. What the clock
+  // had already passed of the cost completed under compute — hidden.
+  const double exposed = std::max(0.0, slot.ready - clock.now());
+  clock.sync_to(slot.ready);
+  record_split(exposed, slot.cost - exposed);
+  current_ = std::move(slot);
+  return std::span<const std::byte>(current_.buffer.data(), current_.bytes);
+}
+
+// --- AsyncWriter -----------------------------------------------------------
+
+void AsyncWriter::write(Writer& writer, std::span<const std::byte> data,
+                        simtime::Clock& clock) {
+  if (!enabled_) {
+    writer.write(data, clock);
+    return;
+  }
+  // Blocking mode stopped at the faulted write; so do we.
+  if (poisoned_) return;
+  simtime::Clock io;
+  try {
+    const detail::DeferredIoScope defer;
+    // The file mutates here, at enqueue — bytes, ordering, and reader
+    // visibility are identical to blocking mode. Only the clock charge
+    // is deferred.
+    writer.write(data, io);
+  } catch (const mutil::TransientIoError&) {
+    fault_ = std::current_exception();
+    poisoned_ = true;
+    return;
+  }
+  queued_cost_ += io.now();
+  last_ready_ = std::max(clock.now(), last_ready_) + io.now();
+}
+
+void AsyncWriter::write(Writer& writer, std::string_view text,
+                        simtime::Clock& clock) {
+  write(writer,
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(text.data()), text.size()),
+        clock);
+}
+
+void AsyncWriter::flush(simtime::Clock& clock) {
+  if (!enabled_) return;
+  inject::phase_point("pfs.flush");
+  if (fault_ != nullptr) {
+    // Costs queued before the fault were charged to pfs.io_seconds at
+    // enqueue; close the accounting before delivering the throw at
+    // the drain point. poisoned_ stays set: the queue is dead.
+    record_hidden(queued_cost_);
+    queued_cost_ = 0.0;
+    std::rethrow_exception(std::exchange(fault_, nullptr));
+  }
+  const double exposed = std::max(0.0, last_ready_ - clock.now());
+  clock.sync_to(last_ready_);
+  record_split(exposed, queued_cost_ - exposed);
+  queued_cost_ = 0.0;
+}
+
+void AsyncWriter::discard() noexcept {
+  if (!enabled_) return;
+  record_hidden(queued_cost_);
+  queued_cost_ = 0.0;
+  fault_ = nullptr;
+  poisoned_ = false;
+}
+
+}  // namespace pfs

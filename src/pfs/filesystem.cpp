@@ -20,10 +20,29 @@ void record_io(const char* bytes_counter, const char* ops_counter,
     reg->add(bytes_counter, bytes);
     reg->add(ops_counter, 1);
     reg->add_seconds("pfs.io_seconds", seconds);
+    // A blocking operation stalls the rank for its whole cost. Async
+    // operations run under a DeferredIoScope and attribute their
+    // exposed/hidden split at the wait instead, keeping the closure
+    // io_wait + io_hidden == pfs.io_seconds per rank.
+    if (!detail::DeferredIoScope::active()) reg->record_io_wait(seconds);
   }
 }
 
+thread_local bool t_deferred_io = false;
+
 }  // namespace
+
+namespace detail {
+
+DeferredIoScope::DeferredIoScope() noexcept : previous_(t_deferred_io) {
+  t_deferred_io = true;
+}
+
+DeferredIoScope::~DeferredIoScope() { t_deferred_io = previous_; }
+
+bool DeferredIoScope::active() noexcept { return t_deferred_io; }
+
+}  // namespace detail
 
 FileSystem::FileSystem(const simtime::MachineProfile& profile,
                        int num_clients)
@@ -201,20 +220,32 @@ std::size_t Reader::read(std::span<std::byte> out, simtime::Clock& clock) {
 
 std::vector<std::byte> Reader::read_all(simtime::Clock& clock) {
   if (!valid()) throw mutil::IoError("pfs: read on invalid Reader");
-  const double slow = inject::pfs_point(0);
-  std::vector<std::byte> out;
+  // Size the buffer from the file length up front: one allocation and
+  // one operation charge, no growth through repeated reads. The fault
+  // hook fires before the copy (like read), now with the real size.
+  std::uint64_t remaining = 0;
   {
     const std::scoped_lock lock(file_->mutex);
     if (offset_ < file_->bytes.size()) {
-      out.assign(file_->bytes.begin() + static_cast<std::ptrdiff_t>(offset_),
-                 file_->bytes.end());
+      remaining = file_->bytes.size() - offset_;
     }
   }
-  offset_ += out.size();
-  fs_->record_read(out.size());
-  double cost = fs_->cost(out.size());
+  const double slow = inject::pfs_point(remaining);
+  std::vector<std::byte> out(remaining);
+  std::size_t n = 0;
+  {
+    const std::scoped_lock lock(file_->mutex);
+    if (offset_ < file_->bytes.size()) {
+      n = std::min<std::size_t>(out.size(), file_->bytes.size() - offset_);
+      std::memcpy(out.data(), file_->bytes.data() + offset_, n);
+    }
+  }
+  out.resize(n);
+  offset_ += n;
+  fs_->record_read(n);
+  double cost = fs_->cost(n);
   if (slow != 1.0) cost *= slow;
-  record_io("pfs.bytes_read", "pfs.read_ops", out.size(), cost);
+  record_io("pfs.bytes_read", "pfs.read_ops", n, cost);
   clock.advance(cost);
   return out;
 }

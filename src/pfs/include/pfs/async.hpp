@@ -1,0 +1,160 @@
+// Asynchronous PFS pipeline: read-ahead and write-behind.
+//
+// The cost model in filesystem.hpp charges every operation to the
+// caller's simulated clock synchronously — on a Comet-scaled client
+// link that serializes map with its input reads and reduce with its
+// spill writes. This layer overlaps them the same way the overlapped
+// shuffle (simmpi ialltoallv) overlaps collectives:
+//
+//   * AsyncReader — N-deep double-buffered read-ahead over a Reader.
+//     Requests are issued eagerly against the shared-bandwidth model
+//     but charged lazily: each in-flight operation k has a ready time
+//
+//         ready_k = max(issue_now_k, ready_{k-1}) + cost_k
+//
+//     (operations queue behind each other on the shared link), and the
+//     caller's wait does clock.sync_to(ready_k). The exposed stall is
+//     max(0, ready_k - now); the rest of cost_k completed under
+//     compute and is recorded as hidden I/O. An immediate wait — no
+//     compute between next() calls — reproduces the blocking clock
+//     *exactly*, for any depth (test-enforced).
+//
+//   * AsyncWriter — a write-behind queue in front of a Writer. The
+//     file mutates at enqueue (bytes, ordering, and reader visibility
+//     are bit-identical to blocking mode); only the clock charge is
+//     deferred to flush(), which syncs to the chained ready time of
+//     the queue. Checkpoint shards flush before the commit barrier;
+//     OOC spill files flush before they are streamed back.
+//
+// Determinism contract: issues happen in operation order on the same
+// Reader/Writer, so fs-level op counts, injected-fault schedules, and
+// file bytes are identical to blocking mode. A TransientIoError raised
+// at issue/enqueue is stashed and re-thrown at the wait/flush — the
+// same program point where blocking mode would have thrown (nothing
+// later was issued, matching the blocking truncation). The
+// inject::phase_point hooks pfs.prefetch / pfs.flush fire outside that
+// stash, so an injected rank crash lands in the issue→wait window.
+//
+// Accounting closure: per rank, io_wait + io_hidden always equals the
+// charged pfs.io_seconds timer. Internal operations run under a
+// pfs::detail::DeferredIoScope (suppressing the blocking io-wait
+// attribution) and the split is recorded at the wait; costs issued but
+// never waited on (destructor drain, discard()) count as hidden.
+//
+// mimir-race integration: each prefetch buffer is frozen between issue
+// and wait (check::race_nb_initiate/race_nb_complete) — a write into
+// an in-flight prefetch buffer is a reported race, mirroring the
+// non-blocking collective freeze.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <span>
+#include <string_view>
+
+#include "memtrack/tracker.hpp"
+#include "pfs/filesystem.hpp"
+#include "simtime/clock.hpp"
+
+namespace pfs {
+
+/// N-deep read-ahead over a Reader. Non-copyable, non-movable (frozen
+/// race regions and in-flight accounting pin the buffers).
+class AsyncReader {
+ public:
+  /// Takes ownership of `reader` and issues up to `depth` chunk reads
+  /// immediately (chunk buffers are tracker-charged under the "io"
+  /// tag). `clock` stamps the issue times; it is not advanced.
+  AsyncReader(Reader reader, memtrack::Tracker& tracker,
+              std::size_t chunk_bytes, int depth, simtime::Clock& clock);
+  ~AsyncReader();
+
+  AsyncReader(const AsyncReader&) = delete;
+  AsyncReader& operator=(const AsyncReader&) = delete;
+
+  /// Wait for the oldest in-flight chunk and return its data (empty at
+  /// end of file), re-issuing the freed buffer so the next chunk is in
+  /// flight while the caller processes this one. The returned span is
+  /// valid until the next call. Charges the exposed remainder of the
+  /// chunk's ready time to `clock`; re-throws a stashed
+  /// mutil::TransientIoError at the wait (the blocking program point).
+  std::span<const std::byte> next(simtime::Clock& clock);
+
+  // --- test introspection --------------------------------------------------
+
+  /// Buffer base of the oldest in-flight (frozen) chunk; nullptr when
+  /// nothing is in flight.
+  const void* in_flight_base() const noexcept {
+    return in_flight_.empty() ? nullptr : in_flight_.front().buffer.data();
+  }
+  int in_flight() const noexcept {
+    return static_cast<int>(in_flight_.size());
+  }
+
+ private:
+  struct Slot {
+    memtrack::TrackedBuffer buffer;
+    std::size_t bytes = 0;   ///< payload actually read (0 at EOF)
+    double cost = 0.0;       ///< charged operation cost
+    double ready = 0.0;      ///< chained completion time
+    std::exception_ptr fault;  ///< stashed TransientIoError, if any
+  };
+
+  /// Issue one read into `buffer`; no-op once EOF or a fault was seen.
+  void issue(memtrack::TrackedBuffer buffer, const simtime::Clock& clock);
+
+  Reader reader_;
+  std::size_t chunk_;
+  std::deque<Slot> in_flight_;
+  Slot current_;
+  double last_ready_ = 0.0;
+  bool done_issuing_ = false;
+};
+
+/// Write-behind queue in front of append Writers. Disabled (the
+/// default) it forwards every write synchronously, so blocking mode
+/// never changes. Movable so containers can own one.
+class AsyncWriter {
+ public:
+  AsyncWriter() noexcept = default;  ///< disabled
+  explicit AsyncWriter(bool enabled) noexcept : enabled_(enabled) {}
+
+  AsyncWriter(AsyncWriter&&) = default;
+  AsyncWriter& operator=(AsyncWriter&&) = default;
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Append `data` through `writer`. Enabled: the file mutates now,
+  /// the clock charge is queued for flush(); a TransientIoError is
+  /// stashed (delivered at flush) and later writes become no-ops,
+  /// matching where blocking mode would have stopped. Disabled:
+  /// synchronous writer.write().
+  void write(Writer& writer, std::span<const std::byte> data,
+             simtime::Clock& clock);
+  void write(Writer& writer, std::string_view text, simtime::Clock& clock);
+
+  /// Drain the queue: charge `clock` the exposed remainder of the
+  /// chained ready time (or re-throw the stashed fault). The commit
+  /// point — checkpoints flush before their commit barrier, spill
+  /// files before they are streamed back. No-op when disabled.
+  void flush(simtime::Clock& clock);
+
+  /// Abandon queued charges without draining (the data is being
+  /// deleted unread, e.g. drop_spill_file). Closes the accounting by
+  /// recording them as hidden.
+  void discard() noexcept;
+
+  double queued_cost() const noexcept { return queued_cost_; }
+
+ private:
+  bool enabled_ = false;
+  bool poisoned_ = false;
+  double queued_cost_ = 0.0;
+  double last_ready_ = 0.0;
+  std::exception_ptr fault_;
+};
+
+}  // namespace pfs

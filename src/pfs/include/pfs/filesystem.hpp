@@ -45,6 +45,26 @@ struct FileData {
   mutable std::mutex mutex;
   std::vector<std::byte> bytes;
 };
+
+/// While one of these is alive on the calling thread, Reader/Writer
+/// operations still count bytes/ops and charge pfs.io_seconds, but skip
+/// the per-phase io-wait attribution: the async layer (pfs/async.hpp)
+/// runs the op against a throwaway clock and records the exposed/hidden
+/// split itself when the caller actually waits. Blocking callers never
+/// see this — without a scope, every operation's full cost is io-wait.
+class DeferredIoScope {
+ public:
+  DeferredIoScope() noexcept;
+  ~DeferredIoScope();
+
+  DeferredIoScope(const DeferredIoScope&) = delete;
+  DeferredIoScope& operator=(const DeferredIoScope&) = delete;
+
+  static bool active() noexcept;
+
+ private:
+  bool previous_;
+};
 }  // namespace detail
 
 class FileSystem;
@@ -79,7 +99,9 @@ class Reader {
   /// (0 at end of file).
   std::size_t read(std::span<std::byte> out, simtime::Clock& clock);
 
-  /// Read the entire remaining contents.
+  /// Read the entire remaining contents as one operation: the buffer is
+  /// sized from the file length up front (single allocation, one op
+  /// charge — no growth through repeated reads).
   std::vector<std::byte> read_all(simtime::Clock& clock);
 
   std::uint64_t size() const;

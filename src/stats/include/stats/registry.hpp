@@ -60,6 +60,15 @@ struct PhaseRecord {
   /// in-flight time between initiation and the earlier of completion
   /// and wait(). Zero for purely blocking runs.
   double overlap = 0.0;
+  /// Simulated seconds this rank spent stalled on PFS operations while
+  /// the phase was open: the full cost of every blocking read/write plus
+  /// the *exposed* remainder of every prefetch/write-behind wait.
+  double io_wait = 0.0;
+  /// Simulated seconds of PFS cost this rank *hid* under compute while
+  /// the phase was open (async I/O in flight while the rank kept
+  /// mapping). Per rank, io_wait + io_hidden always equals the charged
+  /// pfs.io_seconds timer — the accounting closure the io tests enforce.
+  double io_hidden = 0.0;
 
   double seconds() const noexcept { return end - begin; }
   double compute_seconds() const noexcept { return end - begin - wait; }
@@ -147,6 +156,16 @@ class Registry {
   /// (communication hidden under compute). Attribution mirrors
   /// record_wait; `seconds <= 0` records nothing.
   void record_overlap(double seconds);
+  /// This rank was stalled on a PFS operation for `seconds` of simulated
+  /// time: the whole cost of a blocking op, or the exposed tail of an
+  /// async wait. Attribution mirrors record_wait (kept separate from it
+  /// so collective wait and I/O wait stay distinguishable);
+  /// `seconds <= 0` records nothing.
+  void record_io_wait(double seconds);
+  /// `seconds` of PFS cost completed under this rank's compute instead
+  /// of stalling it (async read-ahead / write-behind). Attribution
+  /// mirrors record_wait; `seconds <= 0` records nothing.
+  void record_io_hidden(double seconds);
   /// Snapshot the bound Tracker's totals and per-tag breakdown into
   /// memory(). Must run on the rank thread while the tracker is alive.
   void capture_memory();
@@ -180,6 +199,14 @@ class Registry {
   }
   /// Total simulated seconds of communication hidden under compute.
   double overlap_total() const noexcept { return overlap_total_; }
+  /// Total simulated seconds this rank stalled on PFS operations.
+  double io_wait_total() const noexcept { return io_wait_total_; }
+  /// Hidden-I/O intervals in wait order (for counter tracks).
+  const std::vector<WaitRecord>& io_hiddens() const noexcept {
+    return io_hiddens_;
+  }
+  /// Total simulated seconds of PFS cost hidden under compute.
+  double io_hidden_total() const noexcept { return io_hidden_total_; }
   /// The memory snapshot taken by capture_memory() (default-constructed
   /// with captured == false if never taken).
   const MemorySnapshot& memory() const noexcept { return memory_; }
@@ -192,6 +219,8 @@ class Registry {
     std::uint64_t peak_at_begin = 0;
     double wait_at_begin = 0.0;
     double overlap_at_begin = 0.0;
+    double io_wait_at_begin = 0.0;
+    double io_hidden_at_begin = 0.0;
   };
 
   PhaseRecord close_top();
@@ -215,6 +244,9 @@ class Registry {
   double wait_total_ = 0.0;
   std::vector<WaitRecord> overlaps_;
   double overlap_total_ = 0.0;
+  double io_wait_total_ = 0.0;
+  std::vector<WaitRecord> io_hiddens_;
+  double io_hidden_total_ = 0.0;
   MemorySnapshot memory_;
 };
 

@@ -36,6 +36,13 @@ struct PhaseAttr {
   /// compute/wait split — overlapped seconds are compute seconds that
   /// *also* moved bytes.
   double overlap_seconds = 0.0;
+  /// Max over ranks of in-phase PFS stall time (exposed I/O wait). A
+  /// subset of the phase's wall seconds, like wait_seconds, but kept
+  /// separate: collective wait and I/O wait have different cures.
+  double io_wait_seconds = 0.0;
+  /// Max over ranks of in-phase PFS cost hidden under compute by the
+  /// async I/O pipeline (read-ahead in flight while the rank mapped).
+  double io_hidden_seconds = 0.0;
   /// Load imbalance of the compute share: max over mean (1.0 means
   /// perfectly balanced or no compute at all).
   double imbalance = 1.0;
@@ -84,6 +91,13 @@ struct Summary {
   /// runs.
   std::vector<double> overlap_per_rank;
   double overlap_total = 0.0;
+  /// PFS stall and hidden-I/O attribution, per rank and summed. Per
+  /// rank, wait + hidden equals the charged pfs.io_seconds share (the
+  /// closure check_bench_json enforces: hidden <= charged overall).
+  std::vector<double> io_wait_per_rank;
+  double io_wait_total = 0.0;
+  std::vector<double> io_hidden_per_rank;
+  double io_hidden_total = 0.0;
   /// Tagged memory attribution from the per-rank capture_memory()
   /// snapshots. The component currents sum to memory_current_total;
   /// every component peak is <= memory_peak_max.

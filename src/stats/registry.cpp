@@ -53,6 +53,8 @@ void Registry::phase_begin(std::string_view name) {
   open.peak_at_begin = mem_peak();
   open.wait_at_begin = wait_total_;
   open.overlap_at_begin = overlap_total_;
+  open.io_wait_at_begin = io_wait_total_;
+  open.io_hidden_at_begin = io_hidden_total_;
   open_.push_back(std::move(open));
 }
 
@@ -76,6 +78,8 @@ PhaseRecord Registry::close_top() {
                         : std::max(record.mem_begin, record.mem_end);
   record.wait = wait_total_ - open.wait_at_begin;
   record.overlap = overlap_total_ - open.overlap_at_begin;
+  record.io_wait = io_wait_total_ - open.io_wait_at_begin;
+  record.io_hidden = io_hidden_total_ - open.io_hidden_at_begin;
   return record;
 }
 
@@ -159,6 +163,17 @@ void Registry::record_overlap(double seconds) {
   if (seconds <= 0.0) return;
   overlap_total_ += seconds;
   overlaps_.push_back({now(), seconds});
+}
+
+void Registry::record_io_wait(double seconds) {
+  if (seconds <= 0.0) return;
+  io_wait_total_ += seconds;
+}
+
+void Registry::record_io_hidden(double seconds) {
+  if (seconds <= 0.0) return;
+  io_hidden_total_ += seconds;
+  io_hiddens_.push_back({now(), seconds});
 }
 
 void Registry::capture_memory() {

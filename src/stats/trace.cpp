@@ -77,6 +77,8 @@ std::string Summary::json() const {
       append_kv_f64(out, "wait_seconds", a.wait_seconds, &inner);
       append_kv_f64(out, "compute_seconds", a.compute_seconds, &inner);
       append_kv_f64(out, "overlap_seconds", a.overlap_seconds, &inner);
+      append_kv_f64(out, "io_wait_seconds", a.io_wait_seconds, &inner);
+      append_kv_f64(out, "io_hidden_seconds", a.io_hidden_seconds, &inner);
       append_kv_f64(out, "imbalance", a.imbalance, &inner);
       out += ",\"straggler\":" + std::to_string(a.straggler);
       out += ",\"per_rank_compute\":";
@@ -127,6 +129,16 @@ std::string Summary::json() const {
   }
   out += ",\"per_rank\":";
   append_f64_array(out, overlap_per_rank);
+  out += "},\"io\":{";
+  {
+    bool inner = true;
+    append_kv_f64(out, "wait_seconds", io_wait_total, &inner);
+    append_kv_f64(out, "hidden_seconds", io_hidden_total, &inner);
+  }
+  out += ",\"per_rank_wait\":";
+  append_f64_array(out, io_wait_per_rank);
+  out += ",\"per_rank_hidden\":";
+  append_f64_array(out, io_hidden_per_rank);
   out += "},\"memory\":{";
   {
     bool inner = true;
@@ -169,12 +181,16 @@ Summary Collector::summary() const {
   out.traffic.assign(n, std::vector<std::uint64_t>(n, 0));
   out.wait_per_rank.assign(n, 0.0);
   out.overlap_per_rank.assign(n, 0.0);
+  out.io_wait_per_rank.assign(n, 0.0);
+  out.io_hidden_per_rank.assign(n, 0.0);
   out.sections = sections_;
   // Per-rank totals per phase name, folded into the cross-rank max and
   // into the per-phase attribution arrays.
   std::vector<std::map<std::string, double, std::less<>>> totals(n);
   std::vector<std::map<std::string, double, std::less<>>> waits(n);
   std::vector<std::map<std::string, double, std::less<>>> overlaps(n);
+  std::vector<std::map<std::string, double, std::less<>>> io_waits(n);
+  std::vector<std::map<std::string, double, std::less<>>> io_hiddens(n);
   for (std::size_t r = 0; r < n; ++r) {
     const Registry& reg = registries_[r];
     for (const auto& [name, value] : reg.counters()) {
@@ -187,6 +203,8 @@ Summary Collector::summary() const {
       totals[r][phase.name] += phase.seconds();
       waits[r][phase.name] += phase.wait;
       overlaps[r][phase.name] += phase.overlap;
+      io_waits[r][phase.name] += phase.io_wait;
+      io_hiddens[r][phase.name] += phase.io_hidden;
       auto& peak = out.phase_mem_peak[phase.name];
       peak = std::max(peak, phase.mem_peak);
     }
@@ -202,6 +220,10 @@ Summary Collector::summary() const {
     out.wait_total += reg.wait_total();
     out.overlap_per_rank[r] = reg.overlap_total();
     out.overlap_total += reg.overlap_total();
+    out.io_wait_per_rank[r] = reg.io_wait_total();
+    out.io_wait_total += reg.io_wait_total();
+    out.io_hidden_per_rank[r] = reg.io_hidden_total();
+    out.io_hidden_total += reg.io_hidden_total();
     // Tagged memory: components sum rank currents; peaks are the max
     // over ranks of each tag's (and the rank's) high-water.
     const MemorySnapshot& mem = reg.memory();
@@ -250,12 +272,20 @@ Summary Collector::summary() const {
       const auto overlap_it = overlaps[r].find(name);
       const double overlap =
           overlap_it == overlaps[r].end() ? 0.0 : overlap_it->second;
+      const auto io_wait_it = io_waits[r].find(name);
+      const double io_wait =
+          io_wait_it == io_waits[r].end() ? 0.0 : io_wait_it->second;
+      const auto io_hidden_it = io_hiddens[r].find(name);
+      const double io_hidden =
+          io_hidden_it == io_hiddens[r].end() ? 0.0 : io_hidden_it->second;
       const double compute = total - wait;
       attr.per_rank_compute[r] = compute;
       attr.per_rank_wait[r] = wait;
       attr.per_rank_overlap[r] = overlap;
       attr.wait_seconds = std::max(attr.wait_seconds, wait);
       attr.overlap_seconds = std::max(attr.overlap_seconds, overlap);
+      attr.io_wait_seconds = std::max(attr.io_wait_seconds, io_wait);
+      attr.io_hidden_seconds = std::max(attr.io_hidden_seconds, io_hidden);
       sum += compute;
       if (compute > attr.compute_seconds || attr.straggler < 0) {
         attr.compute_seconds = std::max(compute, 0.0);
@@ -339,6 +369,18 @@ void TraceWriter::add_run(const Collector& collector,
                     "\"overlap.rank%d\",\"ts\":%.6f,\"args\":{\"seconds\":"
                     "%.9g}}",
                     pid, r, r, overlap.time * kMicros, hidden);
+      event(buf);
+    }
+    // Cumulative hidden-I/O track: PFS cost the async pipeline kept
+    // under compute instead of stalling the rank.
+    double io_hidden = 0.0;
+    for (const WaitRecord& io : reg.io_hiddens()) {
+      io_hidden += io.seconds;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"name\":"
+                    "\"io.rank%d\",\"ts\":%.6f,\"args\":{\"seconds\":"
+                    "%.9g}}",
+                    pid, r, r, io.time * kMicros, io_hidden);
       event(buf);
     }
   }

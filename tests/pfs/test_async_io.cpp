@@ -1,0 +1,321 @@
+// pfs::AsyncReader / AsyncWriter: the immediate-wait == blocking-clock
+// contract, data equality, the io accounting closure (wait + hidden ==
+// charged), EOF semantics, fault delivery at the wait/flush, and the
+// in-flight buffer freeze under mimir-race.
+#include "pfs/async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/race.hpp"
+#include "check/report.hpp"
+#include "inject/fault.hpp"
+#include "memtrack/tracker.hpp"
+#include "mutil/error.hpp"
+#include "simmpi/runtime.hpp"
+#include "stats/registry.hpp"
+
+namespace {
+
+using inject::FaultPlan;
+using inject::Injector;
+
+simtime::MachineProfile io_profile() {
+  auto p = simtime::MachineProfile::test_profile();
+  p.pfs_latency = 1e-3;
+  p.pfs_bandwidth = 1e6;
+  p.pfs_client_bandwidth = 0;
+  return p;
+}
+
+std::string payload(std::size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<char>('a' + i % 26);
+  }
+  return s;
+}
+
+/// Blocking reference: chunked reads on a fresh clock; returns the
+/// concatenated data and leaves the clock at the blocking finish time.
+std::string blocking_read(pfs::FileSystem& fs, const std::string& name,
+                          std::size_t chunk_bytes, simtime::Clock& clock) {
+  auto reader = fs.open(name);
+  std::vector<std::byte> chunk(chunk_bytes);
+  std::string data;
+  for (;;) {
+    const std::size_t n = reader.read(chunk, clock);
+    if (n == 0) break;
+    data.append(reinterpret_cast<const char*>(chunk.data()), n);
+  }
+  return data;
+}
+
+TEST(AsyncReader, ImmediateWaitReproducesBlockingClockExactly) {
+  // Odd file and chunk sizes so the last chunk is partial; every depth
+  // must reproduce the blocking clock bit-for-bit when the caller does
+  // no compute between waits (the acceptance-criterion contract).
+  const std::string text = payload(10007);
+  for (const std::size_t chunk : {64u + 1u, 1024u, 4096u + 3u}) {
+    for (const int depth : {1, 2, 4}) {
+      pfs::FileSystem fs(io_profile(), 1);
+      memtrack::Tracker tracker;
+      {
+        simtime::Clock setup;
+        fs.write_file("in", text, setup);
+      }
+      simtime::Clock blocking_clock;
+      const std::string expect = blocking_read(fs, "in", chunk,
+                                               blocking_clock);
+      const std::uint64_t blocking_ops = fs.stats().read_ops;
+
+      simtime::Clock clock;
+      std::string got;
+      {
+        pfs::AsyncReader reader(fs.open("in"), tracker, chunk, depth,
+                                clock);
+        for (;;) {
+          const auto data = reader.next(clock);
+          if (data.empty()) break;
+          got.append(reinterpret_cast<const char*>(data.data()),
+                     data.size());
+        }
+      }
+      EXPECT_EQ(got, expect) << "chunk=" << chunk << " depth=" << depth;
+      EXPECT_DOUBLE_EQ(clock.now(), blocking_clock.now())
+          << "chunk=" << chunk << " depth=" << depth;
+      // Same operation sequence: the read-ahead never changes op
+      // counts (EOF is a real zero-byte op in both modes).
+      EXPECT_EQ(fs.stats().read_ops, 2 * blocking_ops);
+      EXPECT_EQ(tracker.current(), 0u) << "buffers released";
+    }
+  }
+}
+
+TEST(AsyncReader, ComputeBetweenWaitsHidesIoAndClosesAccounting) {
+  const std::string text = payload(8192);
+  pfs::FileSystem fs(io_profile(), 1);
+  memtrack::Tracker tracker;
+  simtime::Clock clock;
+  fs.write_file("in", text, clock);
+
+  // Blocking reference runs before the registry binds, so the
+  // accounting below covers exactly the prefetched reads.
+  simtime::Clock blocking_clock;
+  blocking_read(fs, "in", 1024, blocking_clock);
+
+  stats::Registry reg;
+  reg.bind(0, 1, &clock, &tracker);
+  const stats::ScopedBind bind(&reg);
+
+  const double t0 = clock.now();
+  std::size_t bytes = 0;
+  {
+    pfs::AsyncReader reader(fs.open("in"), tracker, 1024, 2, clock);
+    for (;;) {
+      const auto data = reader.next(clock);
+      if (data.empty()) break;
+      bytes += data.size();
+      // "Map" each chunk for longer than one chunk's I/O cost: all
+      // later reads complete under compute.
+      clock.advance(2 * fs.cost(1024));
+    }
+  }
+  EXPECT_EQ(bytes, text.size());
+  // 8 data chunks: the first read is exposed, the other 7 (and the
+  // EOF op) complete entirely under compute.
+  EXPECT_GT(reg.io_hidden_total(), 6 * fs.cost(1024));
+  // Closure: every charged second is either exposed wait or hidden.
+  EXPECT_NEAR(reg.io_wait_total() + reg.io_hidden_total(),
+              reg.timers().at("pfs.io_seconds"), 1e-12);
+  // The compute dominated, so the exposed read wait stays under the
+  // blocking total...
+  EXPECT_LT(reg.io_wait_total(), blocking_clock.now());
+  // ...and the loop beats compute-then-blocking-reads wall clock.
+  EXPECT_LT(clock.now() - t0,
+            blocking_clock.now() + 8 * 2 * fs.cost(1024));
+}
+
+TEST(AsyncReader, ZeroByteFileIsOneOpAndEmpty) {
+  pfs::FileSystem fs(io_profile(), 1);
+  memtrack::Tracker tracker;
+  simtime::Clock clock;
+  fs.write_file("empty", "", clock);
+  const std::uint64_t ops = fs.stats().read_ops;
+  const double t0 = clock.now();
+  pfs::AsyncReader reader(fs.open("empty"), tracker, 256, 4, clock);
+  EXPECT_EQ(reader.in_flight(), 1) << "EOF stops the issue pipeline";
+  EXPECT_TRUE(reader.next(clock).empty());
+  EXPECT_TRUE(reader.next(clock).empty()) << "stays empty after EOF";
+  EXPECT_EQ(fs.stats().read_ops - ops, 1u);
+  EXPECT_DOUBLE_EQ(clock.now() - t0, fs.cost(0));
+}
+
+TEST(AsyncReader, DestructorDrainsInFlightCostAsHidden) {
+  pfs::FileSystem fs(io_profile(), 1);
+  memtrack::Tracker tracker;
+  simtime::Clock clock;
+  fs.write_file("in", payload(4096), clock);
+
+  stats::Registry reg;
+  reg.bind(0, 1, &clock, &tracker);
+  const stats::ScopedBind bind(&reg);
+  const double wait_before = reg.io_wait_total();
+  {
+    pfs::AsyncReader reader(fs.open("in"), tracker, 1024, 3, clock);
+    (void)reader.next(clock);  // consume one chunk, abandon the rest
+  }
+  EXPECT_NEAR(reg.io_wait_total() - wait_before + reg.io_hidden_total(),
+              reg.timers().at("pfs.io_seconds"), 1e-12);
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+TEST(AsyncReader, TransientFaultDeliveredAtTheWait) {
+  pfs::FileSystem fs(io_profile(), 1);
+  memtrack::Tracker tracker;
+  simtime::Clock clock;
+  fs.write_file("in", payload(4096), clock);
+
+  const FaultPlan plan = FaultPlan::parse("pfs_error:1.0");
+  Injector injector(plan, /*rank=*/0);
+  injector.bind(&clock, &tracker);
+  const inject::ScopedInject scoped(&injector);
+
+  const double t0 = clock.now();
+  pfs::AsyncReader reader(fs.open("in"), tracker, 1024, 3, clock);
+  EXPECT_EQ(reader.in_flight(), 1) << "a stashed fault stops issuing";
+  // Construction must not throw — the fault belongs to the wait.
+  EXPECT_THROW((void)reader.next(clock), mutil::TransientIoError);
+  EXPECT_DOUBLE_EQ(clock.now(), t0) << "a faulted op charges nothing";
+}
+
+TEST(AsyncWriter, DisabledForwardsSynchronously) {
+  pfs::FileSystem fs(io_profile(), 1);
+  simtime::Clock clock;
+  pfs::Writer writer = fs.create("out");
+  pfs::AsyncWriter behind;  // disabled
+  behind.write(writer, std::string_view("hello"), clock);
+  EXPECT_DOUBLE_EQ(clock.now(), fs.cost(5));
+  EXPECT_EQ(fs.file_size("out"), 5u);
+  behind.flush(clock);  // no-op
+  EXPECT_DOUBLE_EQ(clock.now(), fs.cost(5));
+}
+
+TEST(AsyncWriter, ImmediateFlushReproducesBlockingClockExactly) {
+  const std::string chunk = payload(700);
+  pfs::FileSystem fs(io_profile(), 1);
+  simtime::Clock blocking;
+  {
+    pfs::Writer writer = fs.create("a");
+    for (int i = 0; i < 5; ++i) writer.write(chunk, blocking);
+  }
+  simtime::Clock clock;
+  {
+    pfs::Writer writer = fs.create("b");
+    pfs::AsyncWriter behind(true);
+    for (int i = 0; i < 5; ++i) behind.write(writer, chunk, clock);
+    behind.flush(clock);
+  }
+  EXPECT_DOUBLE_EQ(clock.now(), blocking.now());
+  EXPECT_EQ(fs.read_file("b", clock), fs.read_file("a", clock))
+      << "bytes identical write-behind on or off";
+}
+
+TEST(AsyncWriter, ComputeBeforeFlushHidesTheCost) {
+  pfs::FileSystem fs(io_profile(), 1);
+  memtrack::Tracker tracker;
+  simtime::Clock clock;
+  stats::Registry reg;
+  reg.bind(0, 1, &clock, &tracker);
+  const stats::ScopedBind bind(&reg);
+
+  pfs::Writer writer = fs.create("out");
+  pfs::AsyncWriter behind(true);
+  behind.write(writer, std::string_view("0123456789"), clock);
+  EXPECT_DOUBLE_EQ(behind.queued_cost(), fs.cost(10));
+  EXPECT_EQ(fs.file_size("out"), 10u) << "file mutates at enqueue";
+  clock.advance(10 * fs.cost(10));  // compute longer than the write
+  const double before_flush = clock.now();
+  behind.flush(clock);
+  EXPECT_DOUBLE_EQ(clock.now(), before_flush) << "fully hidden";
+  EXPECT_DOUBLE_EQ(reg.io_hidden_total(), fs.cost(10));
+  EXPECT_NEAR(reg.io_wait_total() + reg.io_hidden_total(),
+              reg.timers().at("pfs.io_seconds"), 1e-12);
+}
+
+TEST(AsyncWriter, TransientFaultDeliveredAtTheFlush) {
+  pfs::FileSystem fs(io_profile(), 1);
+  memtrack::Tracker tracker;
+  simtime::Clock clock;
+
+  const FaultPlan plan = FaultPlan::parse("pfs_error:1.0");
+  Injector injector(plan, /*rank=*/0);
+  injector.bind(&clock, &tracker);
+  const inject::ScopedInject scoped(&injector);
+
+  pfs::Writer writer = fs.create("out");
+  pfs::AsyncWriter behind(true);
+  behind.write(writer, std::string_view("doomed"), clock);  // no throw
+  EXPECT_EQ(fs.file_size("out"), 0u) << "faulted write never lands";
+  behind.write(writer, std::string_view("more"), clock);
+  EXPECT_EQ(fs.file_size("out"), 0u)
+      << "poisoned queue drops later writes, like blocking truncation";
+  EXPECT_THROW(behind.flush(clock), mutil::TransientIoError);
+  // The queue stays poisoned; discarding resets it.
+  behind.discard();
+}
+
+TEST(AsyncRace, WriteIntoInFlightPrefetchBufferIsReported) {
+  check::Report report;
+  check::CheckConfig cfg;
+  cfg.race = true;
+  check::JobChecker checker(report, cfg);
+  simmpi::run_test(
+      1,
+      [](simmpi::Context& ctx) {
+        ctx.fs.write_file("in", std::string(2048, 'x'), ctx.clock());
+        pfs::AsyncReader reader(ctx.fs.open("in"), ctx.tracker, 512, 2,
+                                ctx.clock());
+        // Buggy: scribble over a buffer the in-flight prefetch still
+        // owns.
+        check::race_note_access(reader.in_flight_base(), /*write=*/true);
+        while (!reader.next(ctx.clock()).empty()) {
+        }
+      },
+      nullptr, &checker);
+  ASSERT_EQ(report.count("write-after-initiate"), 1u) << report.text();
+  const check::Diagnostic d = report.first("write-after-initiate");
+  EXPECT_NE(d.message.find("pfs.prefetch"), std::string::npos) << d.message;
+}
+
+TEST(AsyncRace, CleanPrefetchRunStaysSilent) {
+  check::Report report;
+  check::CheckConfig cfg;
+  cfg.race = true;
+  check::JobChecker checker(report, cfg);
+  simmpi::run_test(
+      2,
+      [](simmpi::Context& ctx) {
+        if (ctx.rank() == 0) {
+          ctx.fs.write_file("in2", std::string(4099, 'y'), ctx.clock());
+        }
+        ctx.comm.barrier();
+        pfs::AsyncReader reader(ctx.fs.open("in2"), ctx.tracker, 777, 3,
+                                ctx.clock());
+        std::size_t bytes = 0;
+        for (;;) {
+          const auto data = reader.next(ctx.clock());
+          if (data.empty()) break;
+          bytes += data.size();
+        }
+        EXPECT_EQ(bytes, 4099u);
+      },
+      nullptr, &checker);
+  EXPECT_TRUE(report.empty()) << report.text();
+}
+
+}  // namespace

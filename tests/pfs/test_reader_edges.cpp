@@ -1,0 +1,140 @@
+// pfs::Reader edge geometries: zero-byte files, reads exactly at and
+// past EOF, many sub-latency tiny reads, concurrent readers splitting
+// the backend bandwidth, and the pre-sized single-op read_all.
+#include "pfs/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mutil/error.hpp"
+
+namespace {
+
+simtime::MachineProfile profile_with(double latency, double bandwidth,
+                                     double client_bandwidth = 0) {
+  auto p = simtime::MachineProfile::test_profile();
+  p.pfs_latency = latency;
+  p.pfs_bandwidth = bandwidth;
+  p.pfs_client_bandwidth = client_bandwidth;
+  return p;
+}
+
+std::string to_string(const std::vector<std::byte>& v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+TEST(PfsReaderEdges, ZeroByteFileReadsNothingButCostsLatency) {
+  pfs::FileSystem fs(profile_with(1e-3, 1e6), 1);
+  simtime::Clock clock;
+  fs.write_file("empty", "", clock);
+  const double after_write = clock.now();
+  auto r = fs.open("empty");
+  EXPECT_EQ(r.size(), 0u);
+  std::byte buf[16];
+  EXPECT_EQ(r.read(buf, clock), 0u);
+  // A zero-byte operation is still an operation: one RPC latency.
+  EXPECT_DOUBLE_EQ(clock.now() - after_write, fs.cost(0));
+  EXPECT_DOUBLE_EQ(fs.cost(0), 1e-3);
+}
+
+TEST(PfsReaderEdges, ReadExactlyAtEofThenPast) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("f", "12345678", clock);
+  auto r = fs.open("f");
+  std::byte buf[8];
+  // Buffer exactly the file size: one full read, then a clean EOF.
+  EXPECT_EQ(r.read(buf, clock), 8u);
+  EXPECT_EQ(r.tell(), 8u);
+  EXPECT_EQ(r.read(buf, clock), 0u);
+  EXPECT_EQ(r.tell(), 8u);
+  // Seek past EOF: reads return 0, tell() stays put.
+  r.seek(100);
+  EXPECT_EQ(r.read(buf, clock), 0u);
+  EXPECT_EQ(r.tell(), 100u);
+}
+
+TEST(PfsReaderEdges, ReadPastEofReturnsRemainder) {
+  pfs::FileSystem fs(profile_with(0, 1e9), 1);
+  simtime::Clock clock;
+  fs.write_file("f", "abcde", clock);
+  auto r = fs.open("f");
+  r.seek(3);
+  std::byte buf[64];
+  EXPECT_EQ(r.read(buf, clock), 2u);
+  EXPECT_EQ(static_cast<char>(buf[0]), 'd');
+  EXPECT_EQ(static_cast<char>(buf[1]), 'e');
+}
+
+TEST(PfsReaderEdges, ManySubLatencyTinyReadsChargeLatencyEach) {
+  // 1-byte reads where the byte time (1 us) is dwarfed by the RPC
+  // latency (1 ms): the model must charge the latency per operation,
+  // not amortize it away.
+  pfs::FileSystem fs(profile_with(1e-3, 1e6), 1);
+  simtime::Clock clock;
+  fs.write_file("tiny", std::string(100, 'x'), clock);
+  auto r = fs.open("tiny");
+  const double start = clock.now();
+  double expected = 0.0;
+  std::byte buf[1];
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(r.read(buf, clock), 1u);
+    expected += fs.cost(1);
+  }
+  EXPECT_DOUBLE_EQ(clock.now() - start, expected);
+  EXPECT_GE(clock.now() - start, 100 * 1e-3);
+}
+
+TEST(PfsReaderEdges, ConcurrentReadersSplitBackendBandwidth) {
+  // Four clients, each with a fat local link: the backend share
+  // bandwidth/4 is the binding term of the cost model.
+  constexpr int kClients = 4;
+  pfs::FileSystem fs(profile_with(1e-3, 1e6, 1e9), kClients);
+  EXPECT_DOUBLE_EQ(fs.cost(1000),
+                   1e-3 + 1000.0 / (1e6 / kClients));
+  {
+    simtime::Clock clock;
+    fs.write_file("shared", std::string(4096, 's'), clock);
+  }
+  std::vector<double> elapsed(kClients, 0.0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fs, &elapsed, c] {
+      simtime::Clock clock;
+      auto r = fs.open("shared");
+      std::vector<std::byte> buf(1024);
+      ASSERT_EQ(r.read(buf, clock), 1024u);
+      elapsed[static_cast<std::size_t>(c)] = clock.now();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const double seconds : elapsed) {
+    EXPECT_DOUBLE_EQ(seconds, fs.cost(1024));
+  }
+  EXPECT_EQ(fs.stats().read_ops, 4u);
+  EXPECT_EQ(fs.stats().bytes_read, 4096u);
+}
+
+TEST(PfsReaderEdges, ReadAllIsOneOpSizedUpFront) {
+  pfs::FileSystem fs(profile_with(1e-3, 1e6), 1);
+  simtime::Clock clock;
+  fs.write_file("f", "0123456789", clock);
+  auto r = fs.open("f");
+  r.seek(4);
+  const std::uint64_t ops_before = fs.stats().read_ops;
+  const double t0 = clock.now();
+  const std::vector<std::byte> rest = r.read_all(clock);
+  EXPECT_EQ(to_string(rest), "456789");
+  EXPECT_EQ(rest.capacity(), rest.size()) << "buffer pre-sized, no growth";
+  EXPECT_EQ(fs.stats().read_ops - ops_before, 1u);
+  EXPECT_DOUBLE_EQ(clock.now() - t0, fs.cost(6));
+  // At EOF it is still one (zero-byte) operation.
+  const std::vector<std::byte> empty = r.read_all(clock);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(fs.stats().read_ops - ops_before, 2u);
+}
+
+}  // namespace
